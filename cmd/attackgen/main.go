@@ -1,0 +1,121 @@
+// Command attackgen is the paper's released tool (Figure 8): it generates
+// collaborative unfair-rating data from attack-model parameters — bias,
+// variance, arrival rate (count over duration) and correlation mode — and
+// writes the attacked dataset (or just the unfair ratings) as JSON or CSV.
+//
+// Usage:
+//
+//	attackgen -product tv1 -bias -2.3 -stddev 1.5 -count 50 \
+//	          -start 40 -duration 30 -correlation heuristic -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		product     = flag.String("product", "tv1", "target product ID")
+		bias        = flag.Float64("bias", -2.3, "unfair-rating bias (mean offset from fair mean)")
+		stddev      = flag.Float64("stddev", 1.5, "unfair-rating standard deviation")
+		count       = flag.Int("count", 50, "number of unfair ratings")
+		start       = flag.Float64("start", 40, "attack start day")
+		duration    = flag.Float64("duration", 30, "attack duration in days")
+		correlation = flag.String("correlation", "independent", "value-time mapping: independent|shuffled|heuristic")
+		pattern     = flag.String("pattern", "uniform", "arrival pattern: uniform|poisson|front")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		raters      = flag.Int("raters", 50, "biased rater pool size")
+		format      = flag.String("format", "json", "output format: json|csv")
+		unfairOnly  = flag.Bool("unfair-only", false, "emit only the unfair ratings instead of the merged dataset")
+		inPath      = flag.String("in", "", "existing dataset file to attack (JSON; default: synthesize fair data)")
+	)
+	flag.Parse()
+	profile := core.Profile{
+		Bias:         *bias,
+		StdDev:       *stddev,
+		Count:        *count,
+		StartDay:     *start,
+		DurationDays: *duration,
+		Quantize:     true,
+	}
+	if err := run(os.Stdout, *product, profile, *correlation, *pattern, *seed, *raters, *format, *unfairOnly, *inPath); err != nil {
+		fmt.Fprintln(os.Stderr, "attackgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, product string, profile core.Profile, correlation, pattern string, seed uint64, raters int, format string, unfairOnly bool, inPath string) error {
+	switch correlation {
+	case "independent":
+		profile.Correlation = core.Independent
+	case "shuffled":
+		profile.Correlation = core.Shuffled
+	case "heuristic":
+		profile.Correlation = core.HeuristicAnti
+	default:
+		return fmt.Errorf("unknown correlation mode %q", correlation)
+	}
+
+	d, err := loadOrSynthesize(inPath, seed)
+	if err != nil {
+		return err
+	}
+	prod, err := d.Product(product)
+	if err != nil {
+		return err
+	}
+
+	gen := core.NewGenerator(seed, core.DefaultRaters(raters))
+	switch pattern {
+	case "uniform":
+		gen.TimePattern = core.UniformJitter
+	case "poisson":
+		gen.TimePattern = core.PoissonArrivals
+	case "front":
+		gen.TimePattern = core.FrontLoaded
+	default:
+		return fmt.Errorf("unknown arrival pattern %q", pattern)
+	}
+	unfair, err := gen.GenerateProduct(profile, prod.Ratings)
+	if err != nil {
+		return err
+	}
+
+	output := d
+	if unfairOnly {
+		output = &dataset.Dataset{
+			HorizonDays: d.HorizonDays,
+			Products:    []dataset.Product{{ID: product, Ratings: unfair}},
+		}
+	} else if err := d.InjectUnfair(product, unfair); err != nil {
+		return err
+	}
+
+	switch format {
+	case "json":
+		return output.WriteJSON(out)
+	case "csv":
+		return output.WriteCSV(out)
+	default:
+		return fmt.Errorf("unknown format %q (want json or csv)", format)
+	}
+}
+
+func loadOrSynthesize(inPath string, seed uint64) (*dataset.Dataset, error) {
+	if inPath == "" {
+		return dataset.GenerateFair(stats.NewRNG(seed+1000), dataset.DefaultFairConfig())
+	}
+	f, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadJSON(f)
+}

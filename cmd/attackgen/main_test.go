@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func testProfile() core.Profile {
+	return core.Profile{
+		Bias: -2.0, StdDev: 0.5, Count: 20,
+		StartDay: 40, DurationDays: 20, Quantize: true,
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "tv1", testProfile(), "independent", "uniform", 1, 50, "json", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("output not valid dataset JSON: %v", err)
+	}
+	prod, err := d.Product("tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfair := prod.Ratings.UnfairOnly()
+	if len(unfair) != 20 {
+		t.Errorf("unfair ratings = %d, want 20", len(unfair))
+	}
+}
+
+func TestRunCSVUnfairOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "tv2", testProfile(), "shuffled", "poisson", 2, 50, "csv", true, ""); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("output not valid CSV: %v", err)
+	}
+	if len(d.Products) != 1 || d.Products[0].ID != "tv2" {
+		t.Fatalf("products = %v", d.ProductIDs())
+	}
+	if got := len(d.Products[0].Ratings); got != 20 {
+		t.Errorf("ratings = %d, want 20 (unfair only)", got)
+	}
+}
+
+func TestRunHeuristicCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "tv1", testProfile(), "heuristic", "front", 3, 50, "json", true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "tv1", testProfile(), "sideways", "uniform", 1, 50, "json", false, ""); err == nil {
+		t.Error("bad correlation accepted")
+	}
+	if err := run(&buf, "tv1", testProfile(), "independent", "warp", 1, 50, "json", false, ""); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if err := run(&buf, "tv1", testProfile(), "independent", "uniform", 1, 50, "yaml", false, ""); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run(&buf, "tv99", testProfile(), "independent", "uniform", 1, 50, "json", false, ""); err == nil {
+		t.Error("unknown product accepted")
+	}
+	if err := run(&buf, "tv1", testProfile(), "independent", "uniform", 1, 50, "json", false, "/no/such/file.json"); err == nil {
+		t.Error("missing input file accepted")
+	}
+	bad := testProfile()
+	bad.Count = 0
+	if err := run(&buf, "tv1", bad, "independent", "uniform", 1, 50, "json", false, ""); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestRunReadsInputDataset(t *testing.T) {
+	// Write a dataset, then attack it via -in.
+	var first bytes.Buffer
+	if err := run(&first, "tv1", testProfile(), "independent", "uniform", 1, 50, "json", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/data.json"
+	if err := writeFile(path, first.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := run(&second, "tv2", testProfile(), "independent", "uniform", 2, 50, "json", false, path); err != nil {
+		t.Fatal(err)
+	}
+	outStr := second.String()
+	d, err := dataset.ReadJSON(&second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tv1 keeps the first attack, tv2 gains the second.
+	p1, _ := d.Product("tv1")
+	p2, _ := d.Product("tv2")
+	if len(p1.Ratings.UnfairOnly()) != 20 || len(p2.Ratings.UnfairOnly()) != 20 {
+		t.Errorf("unfair counts: tv1=%d tv2=%d",
+			len(p1.Ratings.UnfairOnly()), len(p2.Ratings.UnfairOnly()))
+	}
+	if !strings.Contains(outStr, "tv2") {
+		t.Error("output missing tv2")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

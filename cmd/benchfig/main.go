@@ -1,0 +1,123 @@
+// Command benchfig regenerates the data behind any figure of the paper's
+// evaluation section (Figures 2–7 plus the Figure 8 scheme-comparison
+// headline) and prints the same rows/series the paper plots.
+//
+// Usage:
+//
+//	benchfig -fig 2          # variance–bias scatter under the P-scheme
+//	benchfig -fig all -quick # every figure at reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/challenge"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|schemes|camo|boost|sweep|ext|all")
+		quick  = flag.Bool("quick", false, "reduced scale (fewer submissions, shorter horizon)")
+		seed   = flag.Uint64("seed", 42, "master random seed")
+		subs   = flag.Int("subs", 0, "override submission count (0 = paper's 251, or 40 with -quick)")
+		doPlot = flag.Bool("plot", false, "render ASCII plots for the figures that have them")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *fig, *quick, *seed, *subs, *doPlot); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig string, quick bool, seed uint64, subs int, doPlot bool) error {
+	opts := experiments.DefaultOptions()
+	if quick {
+		opts = experiments.QuickOptions()
+	}
+	opts.Seed = seed
+	if subs > 0 {
+		opts.Submissions = subs
+	}
+	start := time.Now()
+	lab, err := experiments.NewLab(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# challenge: %d products, %.0f days, %d submissions (seed %d)\n",
+		opts.Challenge.Fair.Products, opts.Challenge.Fair.HorizonDays, len(lab.Submissions), seed)
+
+	type runner struct {
+		id  string
+		fn  func() (fmt.Stringer, error)
+		hdr string
+	}
+	runners := []runner{
+		{"2", func() (fmt.Stringer, error) { return lab.Fig2() }, "Figure 2 — variance-bias plot, P-scheme"},
+		{"3", func() (fmt.Stringer, error) { return lab.Fig3() }, "Figure 3 — variance-bias plot, SA-scheme"},
+		{"4", func() (fmt.Stringer, error) { return lab.Fig4() }, "Figure 4 — variance-bias plot, BF-scheme"},
+		{"5", func() (fmt.Stringer, error) { return lab.Fig5() }, "Figure 5 — Procedure 2 optimum-region search"},
+		{"6", func() (fmt.Stringer, error) { return lab.Fig6() }, "Figure 6 — MP vs average unfair-rating interval"},
+		{"7", func() (fmt.Stringer, error) { return lab.Fig7() }, "Figure 7 — value-ordering (correlation) comparison"},
+		{"8", func() (fmt.Stringer, error) { return lab.Fig8() }, "Figure 8 headline — max MP per scheme"},
+		{"schemes", func() (fmt.Stringer, error) { return lab.SchemeComparison() }, "Extension — all six defenses compared"},
+		{"camo", func() (fmt.Stringer, error) { return lab.CamouflageAblation("P") }, "Extension — trust-bootstrapping camouflage ablation"},
+		{"boost", func() (fmt.Stringer, error) { return lab.BoostAnalysis("P") }, "Extension — boost-side analysis (the paper's future work)"},
+		{"sweep", func() (fmt.Stringer, error) { return lab.IntervalSweep("P", nil, 3) }, "Extension — controlled arrival-interval sweep (Fig. 6 companion)"},
+		{"online", func() (fmt.Stringer, error) { return lab.PublicationAblation() }, "Extension — offline vs online (published-monthly) P-scheme"},
+		{"corrsens", func() (fmt.Stringer, error) {
+			return lab.CorrelationSensitivity("P", nil, 30, 6, 2)
+		}, "Extension — Procedure 3 vs fair-rating spread (Fig. 7 sensitivity)"},
+		{"corrj", func() (fmt.Stringer, error) {
+			return lab.CorrelationJShape("P", 0.3, 30, 6, 2)
+		}, "Extension — Procedure 3 under J-shaped (rave/rant) fair opinions"},
+	}
+	ran := false
+	for _, r := range runners {
+		coreFigure := len(r.id) == 1
+		if fig != r.id && !(fig == "all" && coreFigure) && fig != "ext" {
+			continue
+		}
+		if fig == "ext" && coreFigure {
+			continue
+		}
+		ran = true
+		fmt.Fprintf(w, "\n## %s\n", r.hdr)
+		res, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", r.id, err)
+		}
+		fmt.Fprint(w, res.String())
+		if doPlot {
+			if p, ok := res.(interface{ Plot() string }); ok {
+				fmt.Fprint(w, p.Plot())
+			}
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want 2..8, schemes, camo, boost, ext or all)", fig)
+	}
+	// A compact per-strategy summary helps relate the population to the
+	// figures.
+	if fig == "all" {
+		if err := printStrategySummary(w, lab); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "\n# done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func printStrategySummary(w io.Writer, lab *experiments.Lab) error {
+	scored, err := lab.Scored("P")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n## submission strategies under the P-scheme\n")
+	fmt.Fprint(w, challenge.FormatStrategyStats(challenge.StrategyStats(scored)))
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "8", true, 1, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 8 headline") {
+		t.Error("missing figure header")
+	}
+	if !strings.Contains(out, "P/SA ratio") {
+		t.Error("missing ratio line")
+	}
+	if strings.Contains(out, "Figure 2") {
+		t.Error("unexpected extra figure")
+	}
+}
+
+func TestRunExtensionFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "camo", true, 1, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Camouflage ablation") {
+		t.Error("missing camouflage section")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "99", true, 1, 5, false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunAllQuickTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "all", true, 1, 12, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8",
+		"submission strategies under the P-scheme",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing section %q", want)
+		}
+	}
+	// Extensions are not part of "all" (they're behind -fig ext).
+	if strings.Contains(out, "Camouflage ablation") {
+		t.Error("extension leaked into the core figure sweep")
+	}
+}
+
+func TestRunExtSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "ext", true, 1, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"all six defenses", "Camouflage", "Boost-side"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing extension section %q", want)
+		}
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "2", true, 1, 10, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x: bias, y: stddev") {
+		t.Errorf("plot missing from output")
+	}
+}

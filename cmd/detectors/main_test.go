@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestRunDemo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "product tv1") {
+		t.Error("missing tv1 section")
+	}
+	if !strings.Contains(out, "suspicious ratings in") {
+		t.Errorf("demo attack not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "ground truth: recall") {
+		t.Error("missing ground-truth line")
+	}
+	// tv2 has no attack and must be clean.
+	if !strings.Contains(out, "verdict: no suspicious ratings") {
+		t.Error("clean product not reported clean")
+	}
+}
+
+func TestRunDemoVerbose(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", true, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rater biased") {
+		t.Error("verbose mode missing per-rating lines")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 1
+	cfg.HorizonDays = 60
+	d, err := dataset.GenerateFair(stats.NewRNG(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/clean.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, path, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no suspicious ratings") {
+		t.Errorf("clean dataset flagged:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", false, false, ""); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run(&buf, "/no/such/path.json", false, false, ""); err == nil {
+		t.Error("unreadable input accepted")
+	}
+}
+
+func TestRunCurvesExport(t *testing.T) {
+	path := t.TempDir() + "/curves.csv"
+	var buf bytes.Buffer
+	if err := run(&buf, "", true, false, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.HasPrefix(out, "product,curve,day,value\n") {
+		t.Error("missing CSV header")
+	}
+	for _, curve := range []string{"MC", "H-ARC", "L-ARC", "HC", "ME"} {
+		if !strings.Contains(out, "tv1,"+curve+",") {
+			t.Errorf("missing %s rows", curve)
+		}
+	}
+}

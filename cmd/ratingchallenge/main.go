@@ -1,0 +1,129 @@
+// Command ratingchallenge simulates the paper's Rating Challenge end to
+// end: it synthesizes the fair dataset, simulates a population of attack
+// submissions, scores every submission under the chosen defense scheme(s),
+// and prints the leaderboard.
+//
+// Usage:
+//
+//	ratingchallenge                 # 251 submissions, P-scheme leaderboard
+//	ratingchallenge -subs 40 -top 5 -schemes SA,BF,P
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/challenge"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		subs    = flag.Int("subs", 251, "number of simulated submissions")
+		seed    = flag.Uint64("seed", 42, "master random seed")
+		top     = flag.Int("top", 10, "leaderboard size")
+		schemes = flag.String("schemes", "P", "comma-separated schemes to evaluate (SA, BF, WBF, ENT, CLU, P, P-online)")
+		export  = flag.String("export", "", "write the population (with first scheme's scores) to this JSON file")
+		imprt   = flag.String("import", "", "score an archived population from this JSON file instead of simulating one")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *subs, *seed, *top, *schemes, *export, *imprt); err != nil {
+		fmt.Fprintln(os.Stderr, "ratingchallenge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, subs int, seed uint64, top int, schemeList, exportPath, importPath string) error {
+	cfg := challenge.DefaultConfig()
+	c, err := challenge.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rating challenge: %d products over %.0f days, %d biased raters\n",
+		cfg.Fair.Products, cfg.Fair.HorizonDays, cfg.BiasedRaters)
+	fmt.Fprintf(w, "downgrade targets %v, boost targets %v\n", cfg.DowngradeTargets, cfg.BoostTargets)
+
+	var population []challenge.Submission
+	if importPath != "" {
+		f, err := os.Open(importPath)
+		if err != nil {
+			return err
+		}
+		_, population, err = challenge.ReadSubmissions(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "imported %d archived submissions\n", len(population))
+	} else {
+		population, err = challenge.GeneratePopulation(stats.NewRNG(seed), c, subs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "simulated %d submissions\n", len(population))
+	}
+
+	var firstScored []challenge.Scored
+	var firstScheme string
+	for _, name := range strings.Split(schemeList, ",") {
+		scheme, err := schemeByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		scored, err := c.ScoreAll(population, scheme)
+		if err != nil {
+			return err
+		}
+		if firstScored == nil {
+			firstScored, firstScheme = scored, scheme.Name()
+		}
+		lb := challenge.Leaderboard(scored)
+		n := top
+		if n > len(lb) {
+			n = len(lb)
+		}
+		fmt.Fprintf(w, "\n== leaderboard under the %s-scheme ==\n", scheme.Name())
+		fmt.Fprintf(w, "%4s %6s %-18s %10s\n", "rank", "sub", "strategy", "MP")
+		for i := 0; i < n; i++ {
+			sc := lb[i]
+			fmt.Fprintf(w, "%4d %6d %-18s %10.4f\n", i+1, sc.Submission.ID, sc.Submission.Strategy, sc.MP.Overall)
+		}
+	}
+	if exportPath != "" {
+		f, err := os.Create(exportPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.WriteSubmissions(f, population, firstScored, firstScheme); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nexported the population to %s\n", exportPath)
+	}
+	return nil
+}
+
+func schemeByName(name string) (agg.Scheme, error) {
+	switch name {
+	case "SA":
+		return agg.SAScheme{}, nil
+	case "BF":
+		return agg.NewBFScheme(), nil
+	case "WBF":
+		return agg.NewWhitbyScheme(), nil
+	case "ENT":
+		return agg.NewEntropyScheme(), nil
+	case "CLU":
+		return agg.NewClusteringScheme(), nil
+	case "P":
+		return agg.NewPScheme(), nil
+	case "P-online":
+		return agg.NewOnlinePScheme(), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (want SA, BF, WBF, ENT, CLU, P or P-online)", name)
+	}
+}

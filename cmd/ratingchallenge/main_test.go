@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunLeaderboard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 8, 1, 3, "SA", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "simulated 8 submissions") {
+		t.Error("missing population line")
+	}
+	if !strings.Contains(out, "leaderboard under the SA-scheme") {
+		t.Error("missing SA leaderboard")
+	}
+	// Top-3 rows requested.
+	if !strings.Contains(out, "\n   3 ") {
+		t.Errorf("missing rank-3 row:\n%s", out)
+	}
+	if strings.Contains(out, "\n   4 ") {
+		t.Error("leaderboard longer than requested")
+	}
+}
+
+func TestRunMultipleSchemes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 5, 2, 2, "SA, BF", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SA-scheme") || !strings.Contains(out, "BF-scheme") {
+		t.Error("missing scheme sections")
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 5, 2, 2, "XX", "", ""); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"SA", "BF", "P"} {
+		s, err := schemeByName(name)
+		if err != nil || s.Name() != name {
+			t.Errorf("schemeByName(%s) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := schemeByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestRunTopLargerThanPopulation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, 1, 99, "SA", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\n   3 ") {
+		t.Error("missing final row")
+	}
+}
+
+func TestRunExportImportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/population.json"
+	var buf bytes.Buffer
+	if err := run(&buf, 4, 9, 2, "SA", path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exported the population") {
+		t.Error("missing export confirmation")
+	}
+	var buf2 bytes.Buffer
+	if err := run(&buf2, 0, 0, 2, "SA", "", path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "imported 4 archived submissions") {
+		t.Errorf("missing import line:\n%s", buf2.String())
+	}
+	// The archived data scores identically under the same scheme.
+	lb1 := buf.String()[strings.Index(buf.String(), "leaderboard"):]
+	lb2 := buf2.String()[strings.Index(buf2.String(), "leaderboard"):]
+	lb1 = strings.Split(lb1, "exported")[0]
+	if strings.TrimSpace(lb1) != strings.TrimSpace(lb2) {
+		t.Errorf("leaderboards differ:\n%s\nvs\n%s", lb1, lb2)
+	}
+}
+
+func TestRunImportMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 0, 2, "SA", "", "/no/such/file.json"); err == nil {
+		t.Error("missing import file accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildServiceSchemes(t *testing.T) {
+	for _, name := range []string{"SA", "BF", "P"} {
+		svc, scheme, err := buildService(name, "a,b", 60, false, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if scheme.Name() != name {
+			t.Errorf("scheme = %s, want %s", scheme.Name(), name)
+		}
+		ids := svc.Products()
+		if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+			t.Errorf("products = %v", ids)
+		}
+	}
+}
+
+func TestBuildServiceTrimsProductIDs(t *testing.T) {
+	svc, _, err := buildService("SA", " tv1 , tv2 ", 60, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := svc.Products()
+	if ids[0] != "tv1" || ids[1] != "tv2" {
+		t.Errorf("products not trimmed: %v", ids)
+	}
+}
+
+func TestBuildServiceSeedHistory(t *testing.T) {
+	svc, _, err := buildService("SA", "x,y", 90, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"x", "y"} {
+		n, err := svc.RatingCount(id)
+		if err != nil || n == 0 {
+			t.Errorf("product %s: %d ratings, %v", id, n, err)
+		}
+	}
+}
+
+func TestBuildServiceErrors(t *testing.T) {
+	if _, _, err := buildService("XX", "a", 60, false, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, _, err := buildService("SA", "a", -1, false, 1); err == nil {
+		t.Error("bad horizon accepted")
+	}
+	if _, _, err := buildService("SA", "a,a", 60, false, 1); err == nil {
+		t.Error("duplicate products accepted")
+	}
+}

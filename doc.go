@@ -1,0 +1,25 @@
+// Package repro is a full reproduction of "Modeling Attack Behaviors in
+// Rating Systems" (Feng, Yang, Sun, Dai — ICDCS Workshops 2008): attack
+// behavior models and an unfair-rating generator for online rating systems,
+// together with every substrate the paper depends on — a synthetic rating
+// challenge, the signal-based reliable rating aggregation system
+// (P-scheme), the simple-averaging and beta-function-filtering baselines,
+// and the Manipulation Power metric.
+//
+// The library packages live under internal/:
+//
+//   - internal/core — the paper's contribution: attack profiles, the
+//     value-set / time-set generators, the value–time mapper (Procedure 3)
+//     and the Procedure 2 parameter controller.
+//   - internal/detect — the four unfair-rating detectors (MC, ARC, HC, ME)
+//     and the Figure 1 two-path fusion.
+//   - internal/agg — the SA, BF and P aggregation schemes.
+//   - internal/trust, internal/mp, internal/dataset, internal/stats,
+//     internal/cluster, internal/armodel — supporting subsystems.
+//   - internal/challenge, internal/experiments — the rating challenge
+//     simulation and the per-figure experiment harnesses.
+//
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation section; see EXPERIMENTS.md for measured-vs-paper results and
+// README.md for a walkthrough.
+package repro

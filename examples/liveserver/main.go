@@ -1,0 +1,90 @@
+// Liveserver: runs the rating service in-process, streams an attack into
+// it the way a sybil botnet would, and watches the P-scheme's defense
+// react in real time — suspicious counts rise, attacker trust collapses,
+// and the published score barely moves.
+//
+// Run with:
+//
+//	go run ./examples/liveserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agg"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A live service guarding one product with the P-scheme.
+	svc, err := server.New(agg.NewPScheme(), 150, []string{"tv1"})
+	if err != nil {
+		return err
+	}
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 1
+	history, err := dataset.GenerateFair(stats.NewRNG(4), cfg)
+	if err != nil {
+		return err
+	}
+	if err := svc.Load(history); err != nil {
+		return err
+	}
+	before, err := svc.Inspect("tv1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("before attack: %d ratings, month-3 score %.2f\n", before.Ratings, before.Scores[2])
+
+	// The botnet drip-feeds 50 half-star ratings over two weeks.
+	fmt.Println("\nstreaming sybil ratings…")
+	for i := 0; i < 50; i++ {
+		rater := fmt.Sprintf("bot%02d", i)
+		day := 70 + float64(i)*0.3
+		if err := svc.Submit("tv1", rater, 0.5, day); err != nil {
+			return err
+		}
+		if (i+1)%10 == 0 {
+			rep, err := svc.Inspect("tv1")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  after %2d sybil ratings: %2d marked suspicious, month-3 score %.2f, bot00 trust %.2f\n",
+				i+1, rep.Suspicious, rep.Scores[2], svc.Trust("bot00"))
+		}
+	}
+
+	after, err := svc.Inspect("tv1")
+	if err != nil {
+		return err
+	}
+	saSvc, err := server.New(agg.SAScheme{}, 150, []string{"tv1"})
+	if err != nil {
+		return err
+	}
+	if err := saSvc.Load(history); err != nil {
+		return err
+	}
+	for i := 0; i < 50; i++ {
+		if err := saSvc.Submit("tv1", fmt.Sprintf("bot%02d", i), 0.5, 70+float64(i)*0.3); err != nil {
+			return err
+		}
+	}
+	saScores, err := saSvc.Scores("tv1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfinal month-3 score: %.2f under the P-scheme vs %.2f with plain averaging (fair ≈ %.2f)\n",
+		after.Scores[2], saScores[2], before.Scores[2])
+	fmt.Println("the published score under the defense barely moved.")
+	return nil
+}

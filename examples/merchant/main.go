@@ -1,0 +1,79 @@
+// Merchant scenario — the paper's motivating example: a merchant uses 50
+// sybil raters to boost its own two products and downgrade two rivals, the
+// exact shape of the rating challenge (Section III). The example shows the
+// damage under no defense, a majority-rule defense, and the paper's
+// signal-based P-scheme, product by product.
+//
+// Run with:
+//
+//	go run ./examples/merchant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agg"
+	"repro/internal/challenge"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The default challenge: 9 similar TVs, downgrade tv1/tv2 (the
+	// rivals), boost tv3/tv4 (the merchant's own).
+	c, err := challenge.New(challenge.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fair := c.FairSeries()
+	horizon := c.Config.Fair.HorizonDays
+
+	// The merchant plays it smart (region R3 of the paper's Figure 2):
+	// medium bias with large variance on the rivals, and everything the
+	// headroom allows on its own products.
+	gen := core.NewGenerator(99, core.DefaultRaters(c.Config.BiasedRaters))
+	profiles := make(map[string]core.Profile, 4)
+	for _, rival := range c.Config.DowngradeTargets {
+		profiles[rival] = core.Profile{
+			Bias: -2.2, StdDev: 1.2, Count: 50,
+			StartDay: horizon * 0.2, DurationDays: horizon * 0.4,
+			Correlation: core.Independent, Quantize: true,
+		}
+	}
+	for _, own := range c.Config.BoostTargets {
+		profiles[own] = core.Profile{
+			Bias: 0.9, StdDev: 0.3, Count: 50,
+			StartDay: horizon * 0.2, DurationDays: horizon * 0.4,
+			Correlation: core.Independent, Quantize: true,
+		}
+	}
+	atk, err := gen.Generate(profiles, fair)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merchant inserts %d unfair ratings across %d products\n\n",
+		atk.TotalRatings(), len(atk.Ratings))
+
+	schemes := []agg.Scheme{agg.SAScheme{}, agg.NewBFScheme(), agg.NewPScheme()}
+	fmt.Printf("%-10s %10s   per-product MP (Δ of the two worst months)\n", "scheme", "total MP")
+	for _, scheme := range schemes {
+		res, err := c.Score(atk, scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %10.4f   ", scheme.Name(), res.Overall)
+		for _, id := range c.Config.Targets() {
+			fmt.Printf("%s=%.3f ", id, res.Product(id))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ndowngrading the rivals pays better than boosting (the fair mean ≈4")
+	fmt.Println("leaves little headroom) — the asymmetry Section V-B reports.")
+	return nil
+}

@@ -1,0 +1,80 @@
+// Optimizer — a walkthrough of Procedure 2 (the paper's Figure 5): the
+// parameter controller recursively subdivides the variance–bias plane,
+// probes each subarea's center with random attacks, and zooms into the
+// strongest region, automatically discovering the best attack parameters
+// against the P-scheme defense.
+//
+// Run with:
+//
+//	go run ./examples/optimizer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agg"
+	"repro/internal/challenge"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := challenge.DefaultConfig()
+	cfg.Fair.Products = 5 // keep the demo quick
+	c, err := challenge.New(cfg)
+	if err != nil {
+		return err
+	}
+	defense := agg.NewPScheme()
+	fair := c.FairSeries()
+	horizon := cfg.Fair.HorizonDays
+	target := cfg.DowngradeTargets[0]
+
+	// The evaluator behind Procedure 2: one random attack per trial at the
+	// subarea center, scored by manipulation power.
+	evals := 0
+	eval := func(bias, sigma float64, trial int) float64 {
+		evals++
+		gen := core.NewGenerator(uint64(evals)*2654435761, core.DefaultRaters(cfg.BiasedRaters))
+		atk, err := gen.Generate(map[string]core.Profile{target: {
+			Bias: bias, StdDev: sigma, Count: cfg.BiasedRaters,
+			StartDay: horizon * 0.25, DurationDays: horizon * 0.4,
+			Correlation: core.Independent, Quantize: true,
+		}}, fair)
+		if err != nil {
+			return 0
+		}
+		res, err := c.Score(atk, defense)
+		if err != nil {
+			return 0
+		}
+		return res.Overall
+	}
+
+	search := core.DefaultSearchConfig()
+	search.Trials = 5 // the paper's Figure 5 run uses m = 10
+	fmt.Println("Procedure 2: searching the variance-bias plane against the P-scheme")
+	fmt.Printf("initial area: bias [%.1f, %.1f], σ [%.1f, %.1f]\n\n",
+		search.Initial.BiasLo, search.Initial.BiasHi,
+		search.Initial.SigmaLo, search.Initial.SigmaHi)
+
+	result, err := core.SearchOptimalRegion(search, eval)
+	if err != nil {
+		return err
+	}
+	for i, step := range result.Steps {
+		fmt.Printf("round %d: zoomed to bias [%6.2f, %6.2f] σ [%5.2f, %5.2f]  (best MP %.4f)\n",
+			i+1, step.Chosen.BiasLo, step.Chosen.BiasHi,
+			step.Chosen.SigmaLo, step.Chosen.SigmaHi, step.BestMP)
+	}
+	fmt.Printf("\noptimum region center: bias %.2f, σ %.2f — best MP %.4f after %d evaluations\n",
+		result.BestBias, result.BestSigma, result.BestMP, evals)
+	fmt.Println("(the paper's run converged near bias −2.3, σ 1.6 against its challenge data)")
+	return nil
+}

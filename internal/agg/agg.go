@@ -1,0 +1,84 @@
+// Package agg implements the three rating aggregation schemes the paper
+// evaluates attack data against:
+//
+//   - SA-scheme: simple averaging, no defense (Section V-A).
+//   - BF-scheme: beta-function majority filtering in the style of Whitby,
+//     Jøsang & Indulska, a representative majority-rule defense.
+//   - P-scheme: the paper's proposed signal-based reliable rating
+//     aggregation system (Section IV): four detectors, two-path fusion,
+//     Procedure 1 beta trust, rating filter and trust-weighted aggregation
+//     (Eq. 7).
+//
+// All schemes aggregate per 30-day period — the granularity at which the
+// challenge's Manipulation Power metric is computed.
+package agg
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// PeriodDays is the aggregation period of the rating challenge (30 days).
+const PeriodDays = 30.0
+
+// Periods returns the number of (possibly partial) aggregation periods
+// covering [0, horizon).
+func Periods(horizon float64) int {
+	if horizon <= 0 {
+		return 0
+	}
+	return int(math.Ceil(horizon / PeriodDays))
+}
+
+// PeriodInterval returns the day range [start, end) of period i.
+func PeriodInterval(i int, horizon float64) (start, end float64) {
+	start = float64(i) * PeriodDays
+	end = start + PeriodDays
+	if end > horizon {
+		end = horizon
+	}
+	return start, end
+}
+
+// Table holds per-product aggregated ratings, one value per 30-day period.
+// Periods without ratings hold NaN.
+type Table map[string][]float64
+
+// Scheme aggregates a whole dataset into per-product, per-period scores.
+type Scheme interface {
+	// Name returns a short scheme identifier ("SA", "BF", "P").
+	Name() string
+	// Aggregates computes the per-period aggregated rating of every
+	// product in the dataset.
+	Aggregates(d *dataset.Dataset) Table
+}
+
+// SAScheme is plain averaging with no unfair-rating defense.
+type SAScheme struct{}
+
+var _ Scheme = SAScheme{}
+
+// Name implements Scheme.
+func (SAScheme) Name() string { return "SA" }
+
+// Aggregates implements Scheme: the aggregate of each period is the simple
+// mean of the ratings in that period.
+func (SAScheme) Aggregates(d *dataset.Dataset) Table {
+	out := make(Table, len(d.Products))
+	n := Periods(d.HorizonDays)
+	for _, p := range d.Products {
+		scores := make([]float64, n)
+		for i := 0; i < n; i++ {
+			lo, hi := PeriodInterval(i, d.HorizonDays)
+			period := p.Ratings.Between(lo, hi)
+			if len(period) == 0 {
+				scores[i] = math.NaN()
+				continue
+			}
+			scores[i] = period.Mean()
+		}
+		out[p.ID] = scores
+	}
+	return out
+}

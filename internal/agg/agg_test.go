@@ -1,0 +1,337 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mp"
+	"repro/internal/stats"
+)
+
+const testHorizon = 150.0
+
+func fairData(t *testing.T, seed uint64) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 2
+	cfg.HorizonDays = testHorizon
+	d, err := dataset.GenerateFair(stats.NewRNG(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// withAttack clones d and injects a block attack into tv1.
+func withAttack(t *testing.T, d *dataset.Dataset, start, end float64, n int, mean, sigma float64) *dataset.Dataset {
+	t.Helper()
+	rng := stats.NewRNG(777)
+	atk := make(dataset.Series, n)
+	for i := 0; i < n; i++ {
+		v := stats.Clamp(mean+rng.NormFloat64()*sigma, dataset.MinValue, dataset.MaxValue)
+		atk[i] = dataset.Rating{
+			Day:   start + (end-start)*float64(i)/float64(n),
+			Value: dataset.QuantizeHalfStar(v),
+			Rater: fmt.Sprintf("atk%03d", i),
+		}
+	}
+	out := d.Clone()
+	if err := out.InjectUnfair("tv1", atk); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPeriods(t *testing.T) {
+	tests := []struct {
+		horizon float64
+		want    int
+	}{
+		{0, 0}, {-5, 0}, {30, 1}, {31, 2}, {150, 5}, {29.9, 1},
+	}
+	for _, tt := range tests {
+		if got := Periods(tt.horizon); got != tt.want {
+			t.Errorf("Periods(%v) = %d, want %d", tt.horizon, got, tt.want)
+		}
+	}
+}
+
+func TestPeriodInterval(t *testing.T) {
+	lo, hi := PeriodInterval(2, 150)
+	if lo != 60 || hi != 90 {
+		t.Errorf("PeriodInterval(2) = (%v,%v)", lo, hi)
+	}
+	// Final partial period is clipped at the horizon.
+	lo, hi = PeriodInterval(4, 140)
+	if lo != 120 || hi != 140 {
+		t.Errorf("PeriodInterval(partial) = (%v,%v)", lo, hi)
+	}
+}
+
+func TestSASchemeTracksPeriodMeans(t *testing.T) {
+	d := &dataset.Dataset{
+		HorizonDays: 60,
+		Products: []dataset.Product{{ID: "tv1", Ratings: dataset.Series{
+			{Day: 5, Value: 4},
+			{Day: 10, Value: 2},
+			{Day: 40, Value: 5},
+		}}},
+	}
+	table := SAScheme{}.Aggregates(d)
+	got := table["tv1"]
+	if len(got) != 2 {
+		t.Fatalf("periods = %d", len(got))
+	}
+	if got[0] != 3 || got[1] != 5 {
+		t.Errorf("aggregates = %v, want [3 5]", got)
+	}
+}
+
+func TestSASchemeEmptyPeriodIsNaN(t *testing.T) {
+	d := &dataset.Dataset{
+		HorizonDays: 60,
+		Products: []dataset.Product{{ID: "tv1", Ratings: dataset.Series{
+			{Day: 40, Value: 5},
+		}}},
+	}
+	got := SAScheme{}.Aggregates(d)["tv1"]
+	if !math.IsNaN(got[0]) {
+		t.Errorf("empty period = %v, want NaN", got[0])
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if (SAScheme{}).Name() != "SA" || NewBFScheme().Name() != "BF" || NewPScheme().Name() != "P" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestAllSchemesAgreeOnFairData(t *testing.T) {
+	// Without unfair ratings, every scheme should land near the simple
+	// average (no mass filtering of honest ratings).
+	d := fairData(t, 4)
+	sa := SAScheme{}.Aggregates(d)
+	bf := NewBFScheme().Aggregates(d)
+	p := NewPScheme().Aggregates(d)
+	for id := range sa {
+		for i := range sa[id] {
+			if math.IsNaN(sa[id][i]) {
+				continue
+			}
+			if math.Abs(sa[id][i]-bf[id][i]) > 0.35 {
+				t.Errorf("%s period %d: SA=%v BF=%v", id, i, sa[id][i], bf[id][i])
+			}
+			if math.Abs(sa[id][i]-p[id][i]) > 0.35 {
+				t.Errorf("%s period %d: SA=%v P=%v", id, i, sa[id][i], p[id][i])
+			}
+		}
+	}
+}
+
+func TestBFFiltersLargeBiasLowVariance(t *testing.T) {
+	// The BF-scheme catches exactly the R1 corner: huge bias, tiny
+	// variance (Section V-B, Fig. 4 discussion).
+	d := fairData(t, 9)
+	atk := withAttack(t, d, 35, 55, 50, 0.0, 0.05)
+	baseSA := SAScheme{}.Aggregates(d)
+	atkSA := SAScheme{}.Aggregates(atk)
+	baseBF := NewBFScheme().Aggregates(d)
+	atkBF := NewBFScheme().Aggregates(atk)
+	mpSA := mp.Compute(baseSA, atkSA).Overall
+	mpBF := mp.Compute(baseBF, atkBF).Overall
+	if mpBF > mpSA*0.6 {
+		t.Errorf("BF MP %v not clearly below SA MP %v for R1 attack", mpBF, mpSA)
+	}
+}
+
+func TestBFBlindToModerateVariance(t *testing.T) {
+	// Moderate variance defeats the majority rule: BF MP approaches SA MP.
+	d := fairData(t, 9)
+	atk := withAttack(t, d, 35, 55, 50, 2.0, 1.0)
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+	bf := NewBFScheme()
+	mpBF := mp.Compute(bf.Aggregates(d), bf.Aggregates(atk)).Overall
+	if mpBF < mpSA*0.5 {
+		t.Errorf("BF MP %v collapsed on moderate-variance attack (SA %v)", mpBF, mpSA)
+	}
+}
+
+func TestPSchemeSuppressesStrongAttack(t *testing.T) {
+	d := fairData(t, 9)
+	atk := withAttack(t, d, 35, 55, 50, 1.0, 0.3)
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+	p := NewPScheme()
+	mpP := mp.Compute(p.Aggregates(d), p.Aggregates(atk)).Overall
+	if mpP > mpSA*0.55 {
+		t.Errorf("P MP %v not clearly below SA MP %v", mpP, mpSA)
+	}
+}
+
+func TestPSchemeEvaluateExposesMarksAndTrust(t *testing.T) {
+	d := fairData(t, 9)
+	atk := withAttack(t, d, 35, 55, 50, 1.0, 0.3)
+	res := NewPScheme().Evaluate(atk)
+	prod, err := atk.Product("tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	marks := res.Suspicious["tv1"]
+	if len(marks) != len(prod.Ratings) {
+		t.Fatalf("marks length %d != ratings %d", len(marks), len(prod.Ratings))
+	}
+	var caught, total int
+	for i, r := range prod.Ratings {
+		if r.Unfair {
+			total++
+			if marks[i] {
+				caught++
+			}
+		}
+	}
+	if total != 50 {
+		t.Fatalf("expected 50 unfair ratings, found %d", total)
+	}
+	if caught == 0 {
+		t.Error("no unfair ratings marked suspicious")
+	}
+	// Attack raters should have lost trust; they only appear in epoch 2.
+	lowTrust := 0
+	for i := 0; i < 50; i++ {
+		if res.Trust.Trust(fmt.Sprintf("atk%03d", i)) < 0.5 {
+			lowTrust++
+		}
+	}
+	if lowTrust == 0 {
+		t.Error("attack raters kept neutral trust")
+	}
+}
+
+func TestPSchemeMPBelowBFAndSAOnStrongAttack(t *testing.T) {
+	// Headline claim shape: against the strongest straightforward
+	// attacks, the P-scheme bounds MP below the majority-rule BF scheme
+	// and far below no defense.
+	d := fairData(t, 13)
+	atk := withAttack(t, d, 60, 80, 50, 0.5, 0.2)
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+	p := NewPScheme()
+	mpP := mp.Compute(p.Aggregates(d), p.Aggregates(atk)).Overall
+	if mpP >= mpSA {
+		t.Errorf("P MP %v ≥ SA MP %v", mpP, mpSA)
+	}
+}
+
+func TestWeightedMeanFallbacks(t *testing.T) {
+	period := dataset.Series{
+		{Day: 1, Value: 4, Rater: "a"},
+		{Day: 2, Value: 2, Rater: "b"},
+	}
+	// All weights zero → simple mean of kept.
+	got := weightedMean(period, []bool{true, true}, func(string) float64 { return 0 })
+	if got != 3 {
+		t.Errorf("zero-weight fallback = %v, want 3", got)
+	}
+	// Everything filtered → mean of whole period.
+	got = weightedMean(period, []bool{false, false}, func(string) float64 { return 1 })
+	if got != 3 {
+		t.Errorf("all-filtered fallback = %v, want 3", got)
+	}
+	// Normal weighting.
+	got = weightedMean(period, nil, func(r string) float64 {
+		if r == "a" {
+			return 3
+		}
+		return 1
+	})
+	if math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("weighted mean = %v, want 3.5", got)
+	}
+}
+
+func TestPSchemeMechanismAblation(t *testing.T) {
+	// Both mechanisms contribute: disabling either must not make the
+	// defense stronger, and disabling both must approach the SA damage.
+	d := fairData(t, 9)
+	atk := withAttack(t, d, 35, 55, 50, 1.0, 0.3)
+	score := func(p *PScheme) float64 {
+		return mp.Compute(p.Aggregates(d), p.Aggregates(atk)).Overall
+	}
+	full := score(NewPScheme())
+	noFilter := func() *PScheme { p := NewPScheme(); p.DisableFilter = true; return p }()
+	noTrust := func() *PScheme { p := NewPScheme(); p.DisableTrustWeighting = true; return p }()
+	neither := func() *PScheme {
+		p := NewPScheme()
+		p.DisableFilter = true
+		p.DisableTrustWeighting = true
+		return p
+	}()
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+
+	// Each mechanism alone still suppresses this attack to a fraction of
+	// the undefended damage (their residuals differ only at noise level).
+	if full > mpSA*0.3 {
+		t.Errorf("full defense MP %v not well below SA %v", full, mpSA)
+	}
+	if v := score(noFilter); v > mpSA*0.5 {
+		t.Errorf("trust weighting alone MP %v not below half of SA %v", v, mpSA)
+	}
+	if v := score(noTrust); v > mpSA*0.5 {
+		t.Errorf("filter alone MP %v not below half of SA %v", v, mpSA)
+	}
+	// With both mechanisms off the detectors have no effect on the
+	// aggregate and the damage returns to the no-defense level.
+	if v := score(neither); v < mpSA*0.7 {
+		t.Errorf("defense with both mechanisms off still suppresses: %v (SA %v)", v, mpSA)
+	}
+}
+
+func TestOnlinePSchemeName(t *testing.T) {
+	if NewOnlinePScheme().Name() != "P-online" {
+		t.Error("online scheme name")
+	}
+}
+
+func TestOnlinePSchemeAgreesOnFairData(t *testing.T) {
+	d := fairData(t, 4)
+	sa := SAScheme{}.Aggregates(d)
+	on := NewOnlinePScheme().Aggregates(d)
+	for id := range sa {
+		for i := range sa[id] {
+			if math.IsNaN(sa[id][i]) {
+				continue
+			}
+			if math.Abs(sa[id][i]-on[id][i]) > 0.4 {
+				t.Errorf("%s period %d: SA=%v online-P=%v", id, i, sa[id][i], on[id][i])
+			}
+		}
+	}
+}
+
+func TestOnlinePSchemeSuppressesMidHistoryAttack(t *testing.T) {
+	// An attack in the middle of the history is visible before its periods'
+	// scores publish, so the online scheme still defends.
+	d := fairData(t, 9)
+	atk := withAttack(t, d, 35, 55, 50, 1.0, 0.3)
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+	on := NewOnlinePScheme()
+	mpOn := mp.Compute(on.Aggregates(d), on.Aggregates(atk)).Overall
+	if mpOn > mpSA*0.6 {
+		t.Errorf("online P MP %v not clearly below SA %v", mpOn, mpSA)
+	}
+}
+
+func TestHindsightBeatsPublication(t *testing.T) {
+	// The attack that ends just before the horizon: the offline scheme can
+	// retroactively clean the poisoned periods, the online scheme cannot
+	// take back published scores, so offline MP ≤ online MP.
+	d := fairData(t, 23)
+	atk := withAttack(t, d, 0, 120, 50, 0.5, 0.2)
+	offline := NewPScheme()
+	online := NewOnlinePScheme()
+	mpOff := mp.Compute(offline.Aggregates(d), offline.Aggregates(atk)).Overall
+	mpOn := mp.Compute(online.Aggregates(d), online.Aggregates(atk)).Overall
+	if mpOff > mpOn*1.1 {
+		t.Errorf("offline MP %v exceeds online MP %v — hindsight should help", mpOff, mpOn)
+	}
+}

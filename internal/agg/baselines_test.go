@@ -1,0 +1,227 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mp"
+)
+
+func TestExtendedSchemeNames(t *testing.T) {
+	if NewWhitbyScheme().Name() != "WBF" {
+		t.Error("WhitbyScheme name")
+	}
+	if NewEntropyScheme().Name() != "ENT" {
+		t.Error("EntropyScheme name")
+	}
+	if NewClusteringScheme().Name() != "CLU" {
+		t.Error("ClusteringScheme name")
+	}
+}
+
+func TestExtendedSchemesAgreeOnFairData(t *testing.T) {
+	d := fairData(t, 21)
+	sa := SAScheme{}.Aggregates(d)
+	for _, scheme := range []Scheme{NewWhitbyScheme(), NewEntropyScheme(), NewClusteringScheme()} {
+		got := scheme.Aggregates(d)
+		for id := range sa {
+			for i := range sa[id] {
+				if math.IsNaN(sa[id][i]) {
+					if !math.IsNaN(got[id][i]) {
+						t.Errorf("%s: period %d NaN mismatch", scheme.Name(), i)
+					}
+					continue
+				}
+				if math.Abs(sa[id][i]-got[id][i]) > 0.4 {
+					t.Errorf("%s %s period %d: %v vs SA %v", scheme.Name(), id, i, got[id][i], sa[id][i])
+				}
+			}
+		}
+	}
+}
+
+func TestWhitbyFiltersExtremeMismatch(t *testing.T) {
+	// A handful of 0-star ratings against a solid 4.5 consensus: the
+	// quantile test must reject them.
+	period := dataset.Series{}
+	for i := 0; i < 30; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 4.5, Rater: rater(i)})
+	}
+	for i := 30; i < 36; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 0, Rater: rater(i)})
+	}
+	w := NewWhitbyScheme()
+	kept := w.filter(period)
+	for i := 0; i < 30; i++ {
+		if !kept[i] {
+			t.Fatalf("honest rating %d filtered", i)
+		}
+	}
+	dropped := 0
+	for i := 30; i < 36; i++ {
+		if !kept[i] {
+			dropped++
+		}
+	}
+	if dropped != 6 {
+		t.Errorf("dropped %d/6 zero ratings", dropped)
+	}
+}
+
+func TestWhitbyKeepsModerateMismatch(t *testing.T) {
+	// Ratings at 2.5 against a 4.0 consensus survive the quantile test —
+	// the wide single-rating beta cannot reject them.
+	period := dataset.Series{}
+	for i := 0; i < 30; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 4, Rater: rater(i)})
+	}
+	for i := 30; i < 40; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 2.5, Rater: rater(i)})
+	}
+	kept := NewWhitbyScheme().filter(period)
+	for i := 30; i < 40; i++ {
+		if !kept[i] {
+			t.Errorf("moderate rating %d filtered by quantile test", i)
+		}
+	}
+}
+
+func TestEntropyFiltersRareFarOpinion(t *testing.T) {
+	period := dataset.Series{}
+	for i := 0; i < 40; i++ {
+		v := 4.0
+		if i%2 == 0 {
+			v = 4.5
+		}
+		period = append(period, dataset.Rating{Day: float64(i), Value: v, Rater: rater(i)})
+	}
+	// Two rare, far-away opinions.
+	period = append(period,
+		dataset.Rating{Day: 40, Value: 0.5, Rater: rater(40)},
+		dataset.Rating{Day: 41, Value: 0, Rater: rater(41)},
+	)
+	kept := NewEntropyScheme().filter(period)
+	if kept[40] || kept[41] {
+		t.Error("rare far opinions not filtered")
+	}
+	// Rare but *near* opinion survives.
+	period2 := append(period[:40:40], dataset.Rating{Day: 40, Value: 3, Rater: rater(40)})
+	kept2 := NewEntropyScheme().filter(period2)
+	if !kept2[40] {
+		t.Error("rare nearby opinion filtered")
+	}
+}
+
+func TestClusteringFiltersMinorityBlock(t *testing.T) {
+	period := dataset.Series{}
+	for i := 0; i < 30; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 4 + 0.5*float64(i%2), Rater: rater(i)})
+	}
+	for i := 30; i < 40; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 1, Rater: rater(i)})
+	}
+	kept := NewClusteringScheme().filter(period)
+	for i := 0; i < 30; i++ {
+		if !kept[i] {
+			t.Fatalf("majority rating %d filtered", i)
+		}
+	}
+	for i := 30; i < 40; i++ {
+		if kept[i] {
+			t.Errorf("minority block rating %d kept", i)
+		}
+	}
+}
+
+func TestClusteringKeepsLargeMinority(t *testing.T) {
+	// A 45% "minority" is a real opinion split, not collusion.
+	period := dataset.Series{}
+	for i := 0; i < 22; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 4.5, Rater: rater(i)})
+	}
+	for i := 22; i < 40; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 1.5, Rater: rater(i)})
+	}
+	kept := NewClusteringScheme().filter(period)
+	for i, k := range kept {
+		if !k {
+			t.Fatalf("rating %d filtered despite 45%% split", i)
+		}
+	}
+}
+
+func TestClusteringKeepsUnseparatedClusters(t *testing.T) {
+	// Continuous spread: no gap, nothing filtered.
+	period := dataset.Series{}
+	for i := 0; i < 40; i++ {
+		period = append(period, dataset.Rating{Day: float64(i), Value: 2 + 0.25*float64(i%10), Rater: rater(i)})
+	}
+	kept := NewClusteringScheme().filter(period)
+	for i, k := range kept {
+		if !k {
+			t.Fatalf("rating %d filtered without cluster gap", i)
+		}
+	}
+}
+
+func TestClusteringAgainstMassiveR1Attack(t *testing.T) {
+	// The clustering defense separates a colluding minority block even at
+	// one-third contamination (its breakdown point is MaxMinorityShare).
+	d := fairData(t, 31)
+	atk := withAttack(t, d, 35, 55, 50, 0.0, 0.05)
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+	clu := NewClusteringScheme()
+	got := mp.Compute(clu.Aggregates(d), clu.Aggregates(atk)).Overall
+	if got > mpSA*0.85 {
+		t.Errorf("CLU MP %v not clearly below SA %v on R1 attack", got, mpSA)
+	}
+}
+
+func TestMajorityRuleSchemesDisabledByMassiveCollusion(t *testing.T) {
+	// Section IV: "when there are a sufficient number of dishonest raters,
+	// the unfair ratings can become the majority and totally disable the
+	// majority-rule based methods." At one-third contamination, the
+	// quantile test's reputation estimate is dragged into the attackers'
+	// acceptance band and the collusion block is no longer a rare opinion,
+	// so both WBF and ENT stay near the no-defense damage level.
+	d := fairData(t, 31)
+	atk := withAttack(t, d, 35, 55, 50, 0.0, 0.05)
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+	for _, scheme := range []Scheme{NewWhitbyScheme(), NewEntropyScheme()} {
+		got := mp.Compute(scheme.Aggregates(d), scheme.Aggregates(atk)).Overall
+		if got < mpSA*0.7 {
+			t.Errorf("%s MP %v unexpectedly suppressed a majority-scale collusion (SA %v)", scheme.Name(), got, mpSA)
+		}
+	}
+}
+
+func TestMajorityRuleSchemesFilterSparseUnfairness(t *testing.T) {
+	// The same schemes DO work when the dishonest raters are few: a sparse
+	// handful of extreme ratings is exactly what they were designed for.
+	d := fairData(t, 31)
+	atk := withAttack(t, d, 40, 50, 8, 0.0, 0.05)
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+	for _, scheme := range []Scheme{NewWhitbyScheme(), NewEntropyScheme()} {
+		got := mp.Compute(scheme.Aggregates(d), scheme.Aggregates(atk)).Overall
+		if got > mpSA*0.6 {
+			t.Errorf("%s MP %v did not suppress sparse unfairness (SA %v)", scheme.Name(), got, mpSA)
+		}
+	}
+}
+
+func TestExtendedSchemesBlindToModerateVariance(t *testing.T) {
+	// And all three should stay (mostly) blind to the moderate-variance
+	// attack — the majority-rule weakness of Section V-B.
+	d := fairData(t, 31)
+	atk := withAttack(t, d, 35, 55, 50, 2.3, 1.0)
+	mpSA := mp.Compute(SAScheme{}.Aggregates(d), SAScheme{}.Aggregates(atk)).Overall
+	for _, scheme := range []Scheme{NewWhitbyScheme(), NewEntropyScheme(), NewClusteringScheme()} {
+		got := mp.Compute(scheme.Aggregates(d), scheme.Aggregates(atk)).Overall
+		if got < mpSA*0.4 {
+			t.Errorf("%s MP %v collapsed on moderate-variance attack (SA %v)", scheme.Name(), got, mpSA)
+		}
+	}
+}
+
+func rater(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }

@@ -1,0 +1,105 @@
+package agg
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/trust"
+)
+
+// ClusteringScheme is a clustering-based unfair-rating filter in the spirit
+// of Dellarocas (EC 2000), another related-work defense: each period's
+// rating values are cut into two single-linkage clusters; when the clusters
+// are clearly separated and one is a clear minority, the minority cluster
+// is treated as a collusion block and filtered.
+type ClusteringScheme struct {
+	// MinGap is the minimum value separation between the two clusters for
+	// the split to count (default 1.5 rating points).
+	MinGap float64
+	// MaxMinorityShare is the largest fraction of the period the dropped
+	// cluster may hold (default 0.35 — beyond that it IS the majority
+	// opinion and majority-rule logic must keep it).
+	MaxMinorityShare float64
+}
+
+var _ Scheme = (*ClusteringScheme)(nil)
+
+// NewClusteringScheme returns a clustering-filter scheme with defaults.
+func NewClusteringScheme() *ClusteringScheme {
+	return &ClusteringScheme{MinGap: 1.5, MaxMinorityShare: 0.35}
+}
+
+// Name implements Scheme.
+func (*ClusteringScheme) Name() string { return "CLU" }
+
+// Aggregates implements Scheme.
+func (c *ClusteringScheme) Aggregates(d *dataset.Dataset) Table {
+	mgr := trust.NewManager()
+	n := Periods(d.HorizonDays)
+	out := make(Table, len(d.Products))
+	for _, p := range d.Products {
+		out[p.ID] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := PeriodInterval(i, d.HorizonDays)
+		for _, p := range d.Products {
+			period := p.Ratings.Between(lo, hi)
+			if len(period) == 0 {
+				out[p.ID][i] = math.NaN()
+				continue
+			}
+			kept := c.filter(period)
+			updatePeriodTrust(mgr, period, kept)
+			out[p.ID][i] = weightedMean(period, kept, mgr.Trust)
+		}
+	}
+	return out
+}
+
+func (c *ClusteringScheme) filter(period dataset.Series) []bool {
+	kept := make([]bool, len(period))
+	for i := range kept {
+		kept[i] = true
+	}
+	if len(period) < 4 {
+		return kept
+	}
+	vals := period.Values()
+	asg, err := cluster.SingleLinkage(vals, 2)
+	if err != nil {
+		return kept
+	}
+	sizes := asg.Sizes(2)
+	if sizes[0] == 0 || sizes[1] == 0 {
+		return kept
+	}
+	// Gap between the clusters: max of low cluster vs min of high cluster.
+	lowMax := math.Inf(-1)
+	highMin := math.Inf(1)
+	for i, v := range vals {
+		if asg[i] == 0 {
+			if v > lowMax {
+				lowMax = v
+			}
+		} else if v < highMin {
+			highMin = v
+		}
+	}
+	if highMin-lowMax < c.MinGap {
+		return kept
+	}
+	minority := 0
+	if sizes[1] < sizes[0] {
+		minority = 1
+	}
+	if float64(sizes[minority])/float64(len(vals)) > c.MaxMinorityShare {
+		return kept
+	}
+	for i := range period {
+		if asg[i] == minority {
+			kept[i] = false
+		}
+	}
+	return kept
+}

@@ -1,0 +1,131 @@
+package agg
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/trust"
+)
+
+// EntropyScheme is an entropy-based unfair-testimony filter in the spirit
+// of Weng, Miao & Goh (IEICE 2006), one of the related-work defenses the
+// paper lists: the period's ratings form an opinion histogram, and a rating
+// is filtered when it is both a *rare* opinion (its bin's surprisal
+// −log₂ p exceeds SurprisalThreshold) and *far* from the majority opinion
+// (beyond MinDistance from the modal bin). Rare-but-nearby opinions — an
+// honest 3.5 on a 4-star product — survive.
+type EntropyScheme struct {
+	// Bins is the number of histogram bins over the rating range
+	// (default 11: one per half star).
+	Bins int
+	// SurprisalThreshold is the −log₂ p level above which an opinion
+	// counts as rare (default 4: rarer than 1 in 16).
+	SurprisalThreshold float64
+	// MinDistance is how far (in rating points) from the modal opinion a
+	// rare rating must sit to be filtered (default 1.5).
+	MinDistance float64
+	// MaxIterations bounds the filter loop (default 4).
+	MaxIterations int
+}
+
+var _ Scheme = (*EntropyScheme)(nil)
+
+// NewEntropyScheme returns an entropy-filtering scheme with defaults.
+func NewEntropyScheme() *EntropyScheme {
+	return &EntropyScheme{
+		Bins:               11,
+		SurprisalThreshold: 4,
+		MinDistance:        1.5,
+		MaxIterations:      4,
+	}
+}
+
+// Name implements Scheme.
+func (*EntropyScheme) Name() string { return "ENT" }
+
+// Aggregates implements Scheme.
+func (e *EntropyScheme) Aggregates(d *dataset.Dataset) Table {
+	mgr := trust.NewManager()
+	n := Periods(d.HorizonDays)
+	out := make(Table, len(d.Products))
+	for _, p := range d.Products {
+		out[p.ID] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := PeriodInterval(i, d.HorizonDays)
+		for _, p := range d.Products {
+			period := p.Ratings.Between(lo, hi)
+			if len(period) == 0 {
+				out[p.ID][i] = math.NaN()
+				continue
+			}
+			kept := e.filter(period)
+			updatePeriodTrust(mgr, period, kept)
+			out[p.ID][i] = weightedMean(period, kept, mgr.Trust)
+		}
+	}
+	return out
+}
+
+func (e *EntropyScheme) filter(period dataset.Series) []bool {
+	kept := make([]bool, len(period))
+	for i := range kept {
+		kept[i] = true
+	}
+	bins := e.Bins
+	if bins <= 0 {
+		bins = 11
+	}
+	maxIter := e.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		hist, err := stats.NewHistogram(dataset.MinValue, dataset.MaxValue, bins)
+		if err != nil {
+			return kept
+		}
+		for i, r := range period {
+			if kept[i] {
+				hist.Add(r.Value)
+			}
+		}
+		if hist.Total() < 3 {
+			break
+		}
+		fractions := hist.Fractions()
+		mode := hist.Mode()
+		removed := false
+		for i, r := range period {
+			if !kept[i] {
+				continue
+			}
+			p := fractions[binOf(r.Value, bins)]
+			if p <= 0 {
+				continue
+			}
+			surprisal := -math.Log2(p)
+			if surprisal > e.SurprisalThreshold && math.Abs(r.Value-mode) > e.MinDistance {
+				kept[i] = false
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return kept
+}
+
+// binOf mirrors the histogram's clamped binning.
+func binOf(v float64, bins int) int {
+	idx := int(math.Floor((v - dataset.MinValue) / (dataset.MaxValue - dataset.MinValue) * float64(bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	return idx
+}

@@ -1,0 +1,44 @@
+package agg_test
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/dataset"
+	"repro/internal/mp"
+)
+
+func ExamplePScheme() {
+	// One product, 60 days: honest 4s throughout, plus an unfair block of
+	// 0.5s across days 35–45.
+	var s dataset.Series
+	for d := 0; d < 60; d++ {
+		for i := 0; i < 3; i++ {
+			s = append(s, dataset.Rating{
+				Day: float64(d) + float64(i)/3, Value: 4,
+				Rater: fmt.Sprintf("h%d-%d", d, i),
+			})
+		}
+	}
+	fair := &dataset.Dataset{HorizonDays: 60, Products: []dataset.Product{{ID: "tv1", Ratings: s}}}
+
+	attacked := fair.Clone()
+	var unfair dataset.Series
+	for i := 0; i < 30; i++ {
+		unfair = append(unfair, dataset.Rating{
+			Day: 35 + float64(i)/3, Value: 0.5, Rater: fmt.Sprintf("bot%02d", i),
+		})
+	}
+	if err := attacked.InjectUnfair("tv1", unfair); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	for _, scheme := range []agg.Scheme{agg.SAScheme{}, agg.NewPScheme()} {
+		res := mp.Compute(scheme.Aggregates(fair), scheme.Aggregates(attacked))
+		fmt.Printf("%s manipulation power: %.2f\n", scheme.Name(), res.Overall)
+	}
+	// Output:
+	// SA manipulation power: 0.88
+	// P manipulation power: 0.00
+}

@@ -1,0 +1,103 @@
+package agg
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/trust"
+)
+
+// OnlinePScheme is the P-scheme under the rating challenge's *publication*
+// semantics: the challenge website recomputed and published each product's
+// score at the end of every 30-day period, using only the ratings observed
+// so far. Unlike PScheme — which judges every period retrospectively with
+// the full series in view — the online variant can never revise a published
+// score, so an attack that only becomes detectable after its end still
+// poisons the periods it landed in. Comparing the two quantifies the value
+// of hindsight (see the experiments package).
+type OnlinePScheme struct {
+	// Detect configures the detectors and fusion.
+	Detect detect.Config
+}
+
+var _ Scheme = (*OnlinePScheme)(nil)
+
+// NewOnlinePScheme returns an online P-scheme with the default detector
+// configuration.
+func NewOnlinePScheme() *OnlinePScheme {
+	return &OnlinePScheme{Detect: detect.DefaultConfig()}
+}
+
+// Name implements Scheme.
+func (*OnlinePScheme) Name() string { return "P-online" }
+
+// Aggregates implements Scheme: period k's score is computed at day
+// 30·(k+1) from the ratings observed in [0, 30·(k+1)), with the trust state
+// accumulated causally up to that day, and is never revised.
+func (p *OnlinePScheme) Aggregates(d *dataset.Dataset) Table {
+	mgr := trust.NewManager()
+	n := Periods(d.HorizonDays)
+	out := make(Table, len(d.Products))
+	for _, prod := range d.Products {
+		out[prod.ID] = make([]float64, n)
+	}
+	marks := make(map[string][]bool, len(d.Products))
+	for _, prod := range d.Products {
+		marks[prod.ID] = make([]bool, len(prod.Ratings))
+	}
+
+	for epoch := 0; epoch < n; epoch++ {
+		lo, hi := PeriodInterval(epoch, d.HorizonDays)
+		type counts struct{ n, f int }
+		perRater := make(map[string]counts)
+		// Judge this epoch's ratings from the data published so far.
+		for _, prod := range d.Products {
+			seen := prod.Ratings.Between(0, hi)
+			rep := detect.Analyze(seen, hi, p.Detect, mgr)
+			m := marks[prod.ID]
+			for i, r := range seen {
+				if r.Day < lo {
+					continue
+				}
+				if rep.Suspicious[i] {
+					m[i] = true
+				}
+				c := perRater[r.Rater]
+				c.n++
+				if rep.Suspicious[i] {
+					c.f++
+				}
+				perRater[r.Rater] = c
+			}
+		}
+		// Procedure 1 trust update happens before the score is published
+		// (the paper computes trust at tˆ(k) including epoch k's marks).
+		for rater, c := range perRater {
+			mgr.Observe(rater, c.n, c.f)
+		}
+		// Publish this period's scores with today's trust — final.
+		for _, prod := range d.Products {
+			out[prod.ID][epoch] = p.publish(prod.Ratings, marks[prod.ID], lo, hi, mgr)
+		}
+	}
+	return out
+}
+
+func (p *OnlinePScheme) publish(s dataset.Series, marks []bool, lo, hi float64, mgr *trust.Manager) float64 {
+	var period dataset.Series
+	var kept []bool
+	for i, r := range s {
+		if r.Day < lo || r.Day >= hi {
+			continue
+		}
+		period = append(period, r)
+		kept = append(kept, !marks[i])
+	}
+	if len(period) == 0 {
+		return math.NaN()
+	}
+	return weightedMean(period, kept, func(rater string) float64 {
+		return math.Max(mgr.Trust(rater)-0.5, 0)
+	})
+}

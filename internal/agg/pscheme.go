@@ -1,0 +1,140 @@
+package agg
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/trust"
+)
+
+// PScheme is the paper's proposed signal-based reliable rating aggregation
+// system (Section IV). Ratings are analyzed epoch by epoch (one trust epoch
+// per 30-day period): the detector stack plus Figure 1 fusion marks
+// suspicious ratings, Procedure 1 folds the marks into per-rater beta trust,
+// the rating filter drops marked ratings, and Eq. 7 aggregates the rest with
+// weights max(T−0.5, 0).
+type PScheme struct {
+	// Detect configures the four detectors and the fusion.
+	Detect detect.Config
+	// DisableFilter keeps suspicious ratings in the aggregation (ablation:
+	// trust weighting alone must then carry the defense).
+	DisableFilter bool
+	// DisableTrustWeighting aggregates with equal weights instead of
+	// Eq. 7's max(T−0.5, 0) (ablation: the rating filter alone).
+	DisableTrustWeighting bool
+}
+
+var _ Scheme = (*PScheme)(nil)
+
+// NewPScheme returns a P-scheme with the paper's default detector
+// configuration.
+func NewPScheme() *PScheme {
+	return &PScheme{Detect: detect.DefaultConfig()}
+}
+
+// Name implements Scheme.
+func (*PScheme) Name() string { return "P" }
+
+// Result is the full outcome of a P-scheme evaluation, exposing the
+// per-rating suspicious marks and the final trust state for analysis.
+type Result struct {
+	Table Table
+	// Suspicious maps product ID to a per-rating mark aligned with the
+	// product's (sorted) rating series.
+	Suspicious map[string][]bool
+	// Trust is the final trust manager state after all epochs.
+	Trust *trust.Manager
+}
+
+// Aggregates implements Scheme.
+func (p *PScheme) Aggregates(d *dataset.Dataset) Table {
+	return p.Evaluate(d).Table
+}
+
+// Evaluate runs the full pipeline and returns the aggregates along with the
+// suspicious marks and final rater trust.
+func (p *PScheme) Evaluate(d *dataset.Dataset) *Result {
+	mgr := trust.NewManager()
+	n := Periods(d.HorizonDays)
+	res := &Result{
+		Table:      make(Table, len(d.Products)),
+		Suspicious: make(map[string][]bool, len(d.Products)),
+		Trust:      mgr,
+	}
+	for _, prod := range d.Products {
+		res.Suspicious[prod.ID] = make([]bool, len(prod.Ratings))
+	}
+
+	// Trust epochs (Procedure 1): at each epoch boundary, analyze the data
+	// observed so far with the current trust, judge this epoch's ratings,
+	// and fold the marks into rater trust. Trust accumulation is causal.
+	for epoch := 0; epoch < n; epoch++ {
+		lo, hi := PeriodInterval(epoch, d.HorizonDays)
+		type counts struct{ n, f int }
+		perRater := make(map[string]counts)
+		for _, prod := range d.Products {
+			seen := prod.Ratings.Between(0, hi)
+			rep := detect.Analyze(seen, hi, p.Detect, mgr)
+			for i, r := range seen {
+				if r.Day < lo {
+					continue // earlier epoch already judged it
+				}
+				c := perRater[r.Rater]
+				c.n++
+				if rep.Suspicious[i] {
+					c.f++
+				}
+				perRater[r.Rater] = c
+			}
+		}
+		for rater, c := range perRater {
+			mgr.Observe(rater, c.n, c.f)
+		}
+	}
+
+	// Final suspicious marks come from an offline pass over the full
+	// series with the final trust: an attack only visible once its end is
+	// in view (e.g. one running from day 0) is still filtered from the
+	// periods it poisoned.
+	for _, prod := range d.Products {
+		rep := detect.Analyze(prod.Ratings, d.HorizonDays, p.Detect, mgr)
+		copy(res.Suspicious[prod.ID], rep.Suspicious)
+	}
+
+	// Final aggregation: filter marked ratings, weight the rest by
+	// max(T−0.5, 0) (Eq. 7).
+	for _, prod := range d.Products {
+		scores := make([]float64, n)
+		marks := res.Suspicious[prod.ID]
+		for i := 0; i < n; i++ {
+			lo, hi := PeriodInterval(i, d.HorizonDays)
+			scores[i] = p.aggregatePeriod(prod.Ratings, marks, lo, hi, mgr)
+		}
+		res.Table[prod.ID] = scores
+	}
+	return res
+}
+
+func (p *PScheme) aggregatePeriod(s dataset.Series, marks []bool, lo, hi float64, mgr *trust.Manager) float64 {
+	// Indices of the period within the full series.
+	var period dataset.Series
+	var kept []bool
+	for i, r := range s {
+		if r.Day < lo || r.Day >= hi {
+			continue
+		}
+		period = append(period, r)
+		kept = append(kept, p.DisableFilter || !marks[i])
+	}
+	if len(period) == 0 {
+		return math.NaN()
+	}
+	weight := func(rater string) float64 {
+		return math.Max(mgr.Trust(rater)-0.5, 0)
+	}
+	if p.DisableTrustWeighting {
+		weight = func(string) float64 { return 1 }
+	}
+	return weightedMean(period, kept, weight)
+}

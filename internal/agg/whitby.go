@@ -1,0 +1,136 @@
+package agg
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/trust"
+)
+
+// WhitbyScheme is the quantile-test variant of beta-function filtering,
+// following Whitby, Jøsang & Indulska's iterated filtering more literally
+// than BFScheme: ratings are normalized to [0,1], the object's reputation
+// is the mean of the aggregated beta distribution, and a rating is filtered
+// when that reputation falls outside the [Q, 1−Q] quantile band of the
+// *rater's own* beta distribution. With one rating per rater per object the
+// individual beta is very wide, so only extreme mismatches get filtered —
+// the behavior the paper reports for majority-rule schemes.
+type WhitbyScheme struct {
+	// Q is the quantile test level. Whitby et al. use 0.01 with raters
+	// whose beta evidence accumulates over many ratings; in the challenge
+	// each rater rates a product once, leaving a single-rating beta so
+	// wide that q=0.01 rejects nothing — 0.1 is the single-shot
+	// equivalent (default 0.1).
+	Q float64
+	// MaxIterations bounds the filter loop (default 8).
+	MaxIterations int
+}
+
+var _ Scheme = (*WhitbyScheme)(nil)
+
+// NewWhitbyScheme returns a Whitby-style quantile-filtering scheme with
+// the single-shot q = 0.1 (see the Q field).
+func NewWhitbyScheme() *WhitbyScheme {
+	return &WhitbyScheme{Q: 0.1, MaxIterations: 8}
+}
+
+// Name implements Scheme.
+func (*WhitbyScheme) Name() string { return "WBF" }
+
+// Aggregates implements Scheme.
+func (w *WhitbyScheme) Aggregates(d *dataset.Dataset) Table {
+	mgr := trust.NewManager()
+	n := Periods(d.HorizonDays)
+	out := make(Table, len(d.Products))
+	for _, p := range d.Products {
+		out[p.ID] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := PeriodInterval(i, d.HorizonDays)
+		for _, p := range d.Products {
+			period := p.Ratings.Between(lo, hi)
+			if len(period) == 0 {
+				out[p.ID][i] = math.NaN()
+				continue
+			}
+			kept := w.filter(period)
+			updatePeriodTrust(mgr, period, kept)
+			out[p.ID][i] = weightedMean(period, kept, mgr.Trust)
+		}
+	}
+	return out
+}
+
+// filter iterates the quantile test until no rating is removed.
+func (w *WhitbyScheme) filter(period dataset.Series) []bool {
+	kept := make([]bool, len(period))
+	for i := range kept {
+		kept[i] = true
+	}
+	maxIter := w.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		rep, ok := combinedReputation(period, kept)
+		if !ok {
+			break
+		}
+		removed := false
+		for i, r := range period {
+			if !kept[i] {
+				continue
+			}
+			// The rater's individual beta from this single rating.
+			p := r.Value / dataset.MaxValue
+			rater := stats.Beta{Alpha: 1 + p, Beta: 1 + (1 - p)}
+			if rep < rater.Quantile(w.Q) || rep > rater.Quantile(1-w.Q) {
+				kept[i] = false
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return kept
+}
+
+// combinedReputation returns the mean of the beta distribution aggregated
+// from the kept ratings (normalized to [0,1]).
+func combinedReputation(period dataset.Series, kept []bool) (float64, bool) {
+	alpha, beta := 1.0, 1.0
+	any := false
+	for i, r := range period {
+		if !kept[i] {
+			continue
+		}
+		p := r.Value / dataset.MaxValue
+		alpha += p
+		beta += 1 - p
+		any = true
+	}
+	if !any {
+		return 0, false
+	}
+	return alpha / (alpha + beta), true
+}
+
+// updatePeriodTrust folds one period's keep-mask into the trust manager
+// (shared by the majority-rule schemes).
+func updatePeriodTrust(mgr *trust.Manager, period dataset.Series, kept []bool) {
+	type counts struct{ n, f int }
+	perRater := make(map[string]counts)
+	for i, r := range period {
+		c := perRater[r.Rater]
+		c.n++
+		if !kept[i] {
+			c.f++
+		}
+		perRater[r.Rater] = c
+	}
+	for rater, c := range perRater {
+		mgr.Observe(rater, c.n, c.f)
+	}
+}

@@ -1,0 +1,148 @@
+// Package armodel fits autoregressive (AR) signal models using the
+// covariance method (Hayes, "Statistical Digital Signal Processing and
+// Modeling") and exposes the model error the paper's signal-model-change
+// detector thresholds: honest ratings behave like white noise (high,
+// irreducible model error), while collaborative unfair ratings introduce a
+// predictable "signal" component that drives the model error down.
+package armodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Errors returned by the AR fitting routines.
+var (
+	// ErrTooShort indicates a window shorter than needed for the order.
+	ErrTooShort = errors.New("armodel: window too short for order")
+	// ErrBadOrder indicates a non-positive model order.
+	ErrBadOrder = errors.New("armodel: bad order")
+	// ErrSingular indicates numerically singular normal equations.
+	ErrSingular = errors.New("armodel: singular normal equations")
+)
+
+// Model is a fitted AR(p) model: x(n) ≈ −Σ a_k·x(n−k) + e(n).
+type Model struct {
+	// Coeffs holds a_1 … a_p.
+	Coeffs []float64
+	// Err is the minimized residual sum of squares Σ e(n)².
+	Err float64
+	// RelErr is Err normalized per sample and divided by the signal's
+	// variance: ≈1 for unpredictable white noise, →0 for a strong signal.
+	RelErr float64
+}
+
+// Fit fits an AR(order) model to x with the covariance method. The window
+// must contain at least 2·order+1 samples. The mean is removed before
+// fitting (ratings have a large DC component that is not "signal").
+func Fit(x []float64, order int) (Model, error) {
+	if order <= 0 {
+		return Model{}, fmt.Errorf("%w: %d", ErrBadOrder, order)
+	}
+	n := len(x)
+	if n < 2*order+1 {
+		return Model{}, fmt.Errorf("%w: n=%d, order=%d", ErrTooShort, n, order)
+	}
+
+	mean := stats.Mean(x)
+	xc := make([]float64, n)
+	for i, v := range x {
+		xc[i] = v - mean
+	}
+	variance := stats.Variance(xc)
+	if variance == 0 {
+		// Constant window: perfectly predictable, zero residual.
+		return Model{Coeffs: make([]float64, order), Err: 0, RelErr: 0}, nil
+	}
+
+	// Covariance sums c(j,k) = Σ_{t=order}^{n-1} x(t−j)·x(t−k).
+	c := func(j, k int) float64 {
+		var s float64
+		for t := order; t < n; t++ {
+			s += xc[t-j] * xc[t-k]
+		}
+		return s
+	}
+	// Normal equations: Σ_k a_k·c(j,k) = −c(j,0), j = 1…order.
+	a := make([][]float64, order)
+	b := make([]float64, order)
+	for j := 1; j <= order; j++ {
+		row := make([]float64, order)
+		for k := 1; k <= order; k++ {
+			row[k-1] = c(j, k)
+		}
+		a[j-1] = row
+		b[j-1] = -c(j, 0)
+	}
+	coeffs, err := solveLinear(a, b)
+	if err != nil {
+		return Model{}, err
+	}
+
+	// Minimum error: E = c(0,0) + Σ_k a_k·c(0,k).
+	residual := c(0, 0)
+	for k := 1; k <= order; k++ {
+		residual += coeffs[k-1] * c(0, k)
+	}
+	if residual < 0 {
+		residual = 0 // numerical round-off
+	}
+	rel := residual / float64(n-order) / variance
+	if rel > 1 {
+		rel = 1
+	}
+	return Model{Coeffs: coeffs, Err: residual, RelErr: rel}, nil
+}
+
+// solveLinear solves a·x = b by Gaussian elimination with partial pivoting.
+// It mutates its arguments.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot: largest |a[row][col]| for row ≥ col.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for row := col + 1; row < n; row++ {
+			if v := math.Abs(a[row][col]); v > best {
+				pivot, best = row, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for row := col + 1; row < n; row++ {
+			f := a[row][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for row := n - 1; row >= 0; row-- {
+		sum := b[row]
+		for k := row + 1; k < n; k++ {
+			sum -= a[row][k] * x[k]
+		}
+		x[row] = sum / a[row][row]
+	}
+	return x, nil
+}
+
+// Predict returns the one-step AR prediction for position t (t ≥ order)
+// given the zero-mean history xc. It is exported for diagnostics and tests.
+func (m Model) Predict(xc []float64, t int) float64 {
+	var p float64
+	for k := 1; k <= len(m.Coeffs); k++ {
+		p -= m.Coeffs[k-1] * xc[t-k]
+	}
+	return p
+}

@@ -1,0 +1,170 @@
+package armodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, 0); !errors.Is(err, ErrBadOrder) {
+		t.Errorf("order 0 error = %v", err)
+	}
+	if _, err := Fit([]float64{1, 2, 3}, 2); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short window error = %v", err)
+	}
+}
+
+func TestFitSinusoidLowError(t *testing.T) {
+	// A pure sinusoid is perfectly predictable by an AR(2) model.
+	n := 60
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 4 + 1.5*math.Sin(0.4*float64(i))
+	}
+	m, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RelErr > 0.01 {
+		t.Errorf("sinusoid RelErr = %v, want ≈0", m.RelErr)
+	}
+	// AR(2) for sin(ω·n): a1 = −2cos(ω), a2 = 1. (Mean removal of a
+	// partial period leaves a small DC residue, hence the loose tolerance.)
+	if !close(m.Coeffs[0], -2*math.Cos(0.4), 0.05) || !close(m.Coeffs[1], 1, 0.05) {
+		t.Errorf("coeffs = %v, want [−2cos0.4, 1]", m.Coeffs)
+	}
+}
+
+func TestFitWhiteNoiseHighError(t *testing.T) {
+	rng := stats.NewRNG(17)
+	n := 200
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 4 + rng.NormFloat64()*0.7
+	}
+	m, err := Fit(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RelErr < 0.7 {
+		t.Errorf("white noise RelErr = %v, want near 1", m.RelErr)
+	}
+}
+
+func TestFitAR1Recovery(t *testing.T) {
+	// Generate x(n) = 0.8·x(n−1) + e(n); covariance fit should recover
+	// a1 ≈ −0.8 (our sign convention: x(n) + a1·x(n−1) = e(n)).
+	rng := stats.NewRNG(5)
+	n := 2000
+	x := make([]float64, n)
+	for i := 1; i < n; i++ {
+		x[i] = 0.8*x[i-1] + rng.NormFloat64()
+	}
+	m, err := Fit(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(m.Coeffs[0], -0.8, 0.05) {
+		t.Errorf("a1 = %v, want ≈−0.8", m.Coeffs[0])
+	}
+	// Residual power should be near the innovation variance (1), so
+	// RelErr ≈ 1/Var(x) = 1−0.64 = 0.36.
+	if !close(m.RelErr, 0.36, 0.08) {
+		t.Errorf("RelErr = %v, want ≈0.36", m.RelErr)
+	}
+}
+
+func TestFitConstantWindow(t *testing.T) {
+	x := []float64{4, 4, 4, 4, 4, 4, 4, 4}
+	m, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Err != 0 || m.RelErr != 0 {
+		t.Errorf("constant window: Err=%v RelErr=%v, want 0", m.Err, m.RelErr)
+	}
+}
+
+func TestFitRelErrBounds(t *testing.T) {
+	rng := stats.NewRNG(23)
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.IntN(80)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 5
+		}
+		m, err := Fit(x, 3)
+		if err != nil {
+			continue // singular is acceptable for adversarial data
+		}
+		if m.RelErr < 0 || m.RelErr > 1 {
+			t.Fatalf("RelErr = %v out of [0,1]", m.RelErr)
+		}
+		if m.Err < 0 {
+			t.Fatalf("Err = %v negative", m.Err)
+		}
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(x[0], 1, 1e-10) || !close(x[1], 3, 1e-10) {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(x[0], 3, 1e-10) || !close(x[1], 2, 1e-10) {
+		t.Errorf("solution = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := solveLinear(a, b); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular system error = %v", err)
+	}
+}
+
+func TestPredictMatchesResidual(t *testing.T) {
+	n := 50
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 4 + math.Sin(0.5*float64(i))
+	}
+	m, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(x)
+	xc := make([]float64, n)
+	for i, v := range x {
+		xc[i] = v - mean
+	}
+	var rss float64
+	for tIdx := 2; tIdx < n; tIdx++ {
+		e := xc[tIdx] - m.Predict(xc, tIdx)
+		rss += e * e
+	}
+	if !close(rss, m.Err, 1e-6*(1+m.Err)) {
+		t.Errorf("recomputed RSS = %v, Fit reported %v", rss, m.Err)
+	}
+}
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

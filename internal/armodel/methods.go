@@ -1,0 +1,181 @@
+package armodel
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Method selects the AR fitting algorithm. The paper's detector uses the
+// covariance method; the autocorrelation (Levinson–Durbin) and Burg methods
+// from the same reference (Hayes, Statistical DSP) are provided for
+// ablation — all three agree on strongly-modelled signals and differ mainly
+// in bias/variance on short windows.
+type Method int
+
+// Fitting methods.
+const (
+	// Covariance is the paper's method: exact least squares over the
+	// window, no windowing bias, but stability is not guaranteed.
+	Covariance Method = iota + 1
+	// Autocorrelation solves the Yule–Walker equations with
+	// Levinson–Durbin recursion; always stable, slightly biased.
+	Autocorrelation
+	// Burg minimizes forward+backward prediction error under a lattice
+	// constraint; stable and accurate on short windows.
+	Burg
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case Covariance:
+		return "covariance"
+	case Autocorrelation:
+		return "autocorrelation"
+	case Burg:
+		return "burg"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// FitMethod fits an AR(order) model to x with the chosen method. See Fit
+// for the Covariance behavior; all methods remove the mean first and
+// normalize RelErr identically.
+func FitMethod(x []float64, order int, method Method) (Model, error) {
+	switch method {
+	case Covariance, 0:
+		return Fit(x, order)
+	case Autocorrelation:
+		return fitAutocorrelation(x, order)
+	case Burg:
+		return fitBurg(x, order)
+	default:
+		return Model{}, fmt.Errorf("%w: unknown method %d", ErrBadOrder, int(method))
+	}
+}
+
+// fitAutocorrelation solves the Yule–Walker normal equations via the
+// Levinson–Durbin recursion.
+func fitAutocorrelation(x []float64, order int) (Model, error) {
+	if order <= 0 {
+		return Model{}, fmt.Errorf("%w: %d", ErrBadOrder, order)
+	}
+	n := len(x)
+	if n < 2*order+1 {
+		return Model{}, fmt.Errorf("%w: n=%d, order=%d", ErrTooShort, n, order)
+	}
+	mean := stats.Mean(x)
+	xc := make([]float64, n)
+	for i, v := range x {
+		xc[i] = v - mean
+	}
+	variance := stats.Variance(xc)
+	if variance == 0 {
+		return Model{Coeffs: make([]float64, order), Err: 0, RelErr: 0}, nil
+	}
+
+	// Biased autocorrelation estimates r(0..order).
+	r := make([]float64, order+1)
+	for lag := 0; lag <= order; lag++ {
+		var s float64
+		for t := lag; t < n; t++ {
+			s += xc[t] * xc[t-lag]
+		}
+		r[lag] = s / float64(n)
+	}
+	if r[0] == 0 {
+		return Model{Coeffs: make([]float64, order), Err: 0, RelErr: 0}, nil
+	}
+
+	// Levinson–Durbin recursion. a holds the current prediction
+	// coefficients in the convention x(n) + Σ a_k x(n−k) = e(n).
+	a := make([]float64, order+1)
+	e := r[0]
+	for k := 1; k <= order; k++ {
+		acc := r[k]
+		for j := 1; j < k; j++ {
+			acc += a[j] * r[k-j]
+		}
+		if e == 0 {
+			break
+		}
+		reflection := -acc / e
+		a[k] = reflection
+		for j := 1; j <= k/2; j++ {
+			a[j], a[k-j] = a[j]+reflection*a[k-j], a[k-j]+reflection*a[j]
+		}
+		e *= 1 - reflection*reflection
+	}
+	if e < 0 {
+		e = 0
+	}
+	coeffs := append([]float64(nil), a[1:]...)
+	// e is the per-sample prediction error power; scale to the covariance
+	// method's residual-sum convention over n−order samples.
+	rss := e * float64(n-order)
+	rel := e / variance
+	if rel > 1 {
+		rel = 1
+	}
+	return Model{Coeffs: coeffs, Err: rss, RelErr: rel}, nil
+}
+
+// fitBurg implements Burg's lattice method.
+func fitBurg(x []float64, order int) (Model, error) {
+	if order <= 0 {
+		return Model{}, fmt.Errorf("%w: %d", ErrBadOrder, order)
+	}
+	n := len(x)
+	if n < 2*order+1 {
+		return Model{}, fmt.Errorf("%w: n=%d, order=%d", ErrTooShort, n, order)
+	}
+	mean := stats.Mean(x)
+	xc := make([]float64, n)
+	for i, v := range x {
+		xc[i] = v - mean
+	}
+	variance := stats.Variance(xc)
+	if variance == 0 {
+		return Model{Coeffs: make([]float64, order), Err: 0, RelErr: 0}, nil
+	}
+
+	f := append([]float64(nil), xc...) // forward errors
+	b := append([]float64(nil), xc...) // backward errors
+	a := make([]float64, order+1)
+	e := variance
+	for k := 1; k <= order; k++ {
+		// Reflection coefficient from forward/backward error products.
+		var num, den float64
+		for t := k; t < n; t++ {
+			num += f[t] * b[t-1]
+			den += f[t]*f[t] + b[t-1]*b[t-1]
+		}
+		if den == 0 {
+			break
+		}
+		reflection := -2 * num / den
+		a[k] = reflection
+		for j := 1; j <= k/2; j++ {
+			a[j], a[k-j] = a[j]+reflection*a[k-j], a[k-j]+reflection*a[j]
+		}
+		// Update the error sequences (in place, back to front for b).
+		for t := n - 1; t >= k; t-- {
+			ft := f[t]
+			f[t] = ft + reflection*b[t-1]
+			b[t] = b[t-1] + reflection*ft
+		}
+		e *= 1 - reflection*reflection
+	}
+	if e < 0 {
+		e = 0
+	}
+	coeffs := append([]float64(nil), a[1:]...)
+	rss := e * float64(n-order)
+	rel := e / variance
+	if rel > 1 {
+		rel = 1
+	}
+	return Model{Coeffs: coeffs, Err: rss, RelErr: rel}, nil
+}

@@ -1,0 +1,153 @@
+package armodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func allMethods() []Method {
+	return []Method{Covariance, Autocorrelation, Burg}
+}
+
+func TestMethodString(t *testing.T) {
+	if Covariance.String() != "covariance" ||
+		Autocorrelation.String() != "autocorrelation" ||
+		Burg.String() != "burg" {
+		t.Error("method names wrong")
+	}
+	if Method(9).String() != "method(9)" {
+		t.Error("unknown method name wrong")
+	}
+}
+
+func TestFitMethodValidation(t *testing.T) {
+	x := make([]float64, 50)
+	if _, err := FitMethod(x, 2, Method(42)); err == nil {
+		t.Error("unknown method accepted")
+	}
+	for _, m := range allMethods() {
+		if _, err := FitMethod([]float64{1, 2, 3}, 2, m); !errors.Is(err, ErrTooShort) {
+			t.Errorf("%v: short window error = %v", m, err)
+		}
+		if _, err := FitMethod(x, 0, m); !errors.Is(err, ErrBadOrder) {
+			t.Errorf("%v: order 0 error = %v", m, err)
+		}
+	}
+}
+
+func TestFitMethodZeroSelectsCovariance(t *testing.T) {
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = math.Sin(0.3 * float64(i))
+	}
+	cov, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := FitMethod(x, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Err != def.Err {
+		t.Error("method 0 did not default to covariance")
+	}
+}
+
+func TestAllMethodsAgreeOnAR1(t *testing.T) {
+	// Long AR(1) series: all three estimators must converge to the truth.
+	rng := stats.NewRNG(15)
+	n := 4000
+	x := make([]float64, n)
+	for i := 1; i < n; i++ {
+		x[i] = 0.7*x[i-1] + rng.NormFloat64()
+	}
+	for _, m := range allMethods() {
+		model, err := FitMethod(x, 1, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if math.Abs(model.Coeffs[0]-(-0.7)) > 0.05 {
+			t.Errorf("%v: a1 = %v, want ≈ -0.7", m, model.Coeffs[0])
+		}
+		// RelErr ≈ 1 − 0.49 = 0.51.
+		if math.Abs(model.RelErr-0.51) > 0.07 {
+			t.Errorf("%v: RelErr = %v, want ≈ 0.51", m, model.RelErr)
+		}
+	}
+}
+
+func TestAllMethodsLowErrorOnSinusoid(t *testing.T) {
+	n := 80
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 4 + 1.5*math.Sin(0.45*float64(i))
+	}
+	for _, m := range allMethods() {
+		model, err := FitMethod(x, 2, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// The autocorrelation method's windowing bias leaves more
+		// residual than covariance/Burg; all must still be clearly below
+		// the white-noise level.
+		if model.RelErr > 0.2 {
+			t.Errorf("%v: sinusoid RelErr = %v, want small", m, model.RelErr)
+		}
+	}
+}
+
+func TestAllMethodsHighErrorOnNoise(t *testing.T) {
+	rng := stats.NewRNG(16)
+	n := 300
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for _, m := range allMethods() {
+		model, err := FitMethod(x, 4, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if model.RelErr < 0.8 {
+			t.Errorf("%v: white noise RelErr = %v, want near 1", m, model.RelErr)
+		}
+	}
+}
+
+func TestAllMethodsConstantWindow(t *testing.T) {
+	x := []float64{4, 4, 4, 4, 4, 4, 4, 4, 4, 4}
+	for _, m := range allMethods() {
+		model, err := FitMethod(x, 2, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if model.Err != 0 || model.RelErr != 0 {
+			t.Errorf("%v: constant window Err=%v RelErr=%v", m, model.Err, model.RelErr)
+		}
+	}
+}
+
+func TestStableMethodsReflectionBound(t *testing.T) {
+	// Autocorrelation and Burg guarantee |poles| < 1; spot-check that the
+	// fitted models' RelErr stays within [0,1] on rough data.
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 20; trial++ {
+		n := 25 + rng.IntN(60)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.IntN(11)) / 2
+		}
+		for _, m := range []Method{Autocorrelation, Burg} {
+			model, err := FitMethod(x, 4, m)
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			if model.RelErr < 0 || model.RelErr > 1 {
+				t.Fatalf("%v: RelErr = %v", m, model.RelErr)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package challenge
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/mp"
+)
+
+// Mark is the submission classification used in the variance–bias plots.
+type Mark int
+
+// Marks (Section V-B): AMP = top-10 overall MP; LMP = top-10 MP among the
+// submissions with negative bias on the product; UMP = the same for
+// positive bias.
+const (
+	MarkAMP Mark = 1 << iota
+	MarkLMP
+	MarkUMP
+)
+
+// Has reports whether m contains the given flag.
+func (m Mark) Has(flag Mark) bool { return m&flag != 0 }
+
+// String renders the mark set ("AMP|LMP", "-" for none).
+func (m Mark) String() string {
+	s := ""
+	appendFlag := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if m.Has(MarkAMP) {
+		appendFlag("AMP")
+	}
+	if m.Has(MarkLMP) {
+		appendFlag("LMP")
+	}
+	if m.Has(MarkUMP) {
+		appendFlag("UMP")
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Scored pairs a submission with its manipulation power under one scheme.
+type Scored struct {
+	Submission Submission
+	MP         mp.Result
+}
+
+// ScoreAll evaluates every submission under the scheme.
+func (c *Challenge) ScoreAll(subs []Submission, scheme agg.Scheme) ([]Scored, error) {
+	out := make([]Scored, len(subs))
+	for i, sub := range subs {
+		res, err := c.Score(sub.Attack, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("score submission %d: %w", sub.ID, err)
+		}
+		out[i] = Scored{Submission: sub, MP: res}
+	}
+	return out, nil
+}
+
+// VBPoint is one circle on a variance–bias plot (Figures 2–4): one
+// submission's unfair ratings against one product.
+type VBPoint struct {
+	SubmissionID int
+	Strategy     Strategy
+	// Bias is mean(unfair) − mean(fair) for the product; Spread is the
+	// standard deviation of the unfair rating values.
+	Bias   float64
+	Spread float64
+	// ProductMP is the MP gained from this product; OverallMP across all.
+	ProductMP float64
+	OverallMP float64
+	Marks     Mark
+}
+
+// VarianceBias builds the variance–bias scatter for one product from scored
+// submissions, marking AMP/LMP/UMP per Section V-B (top-10 in each
+// category).
+func (c *Challenge) VarianceBias(scored []Scored, productID string) []VBPoint {
+	fair := c.FairSeries()[productID]
+	fairVals := fair.Values()
+	points := make([]VBPoint, 0, len(scored))
+	for _, sc := range scored {
+		unfair, ok := sc.Submission.Attack.Ratings[productID]
+		if !ok || len(unfair) == 0 {
+			continue
+		}
+		points = append(points, VBPoint{
+			SubmissionID: sc.Submission.ID,
+			Strategy:     sc.Submission.Strategy,
+			Bias:         core.MeasureBias(unfair.Values(), fairVals),
+			Spread:       core.MeasureSpread(unfair.Values()),
+			ProductMP:    sc.MP.Product(productID),
+			OverallMP:    sc.MP.Overall,
+		})
+	}
+	markTop(points, MarkAMP, func(p VBPoint) (float64, bool) { return p.OverallMP, true })
+	markTop(points, MarkLMP, func(p VBPoint) (float64, bool) { return p.ProductMP, p.Bias < 0 })
+	markTop(points, MarkUMP, func(p VBPoint) (float64, bool) { return p.ProductMP, p.Bias > 0 })
+	return points
+}
+
+// markTop sets flag on the 10 eligible points with the highest key.
+func markTop(points []VBPoint, flag Mark, key func(VBPoint) (float64, bool)) {
+	type ranked struct {
+		idx int
+		v   float64
+	}
+	var rs []ranked
+	for i, p := range points {
+		if v, ok := key(p); ok {
+			rs = append(rs, ranked{idx: i, v: v})
+		}
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].v > rs[b].v })
+	for i := 0; i < len(rs) && i < 10; i++ {
+		points[rs[i].idx].Marks |= flag
+	}
+}
+
+// Region is the variance–bias region taxonomy of Section V-B for
+// downgrading attacks.
+type Region int
+
+// Regions: R1 = large negative bias with small-to-medium variance, R2 =
+// medium bias with small-to-medium variance, R3 = medium bias with
+// medium-to-large variance. RegionOther covers everything else (positive
+// bias, tiny bias, …).
+const (
+	RegionOther Region = iota
+	Region1
+	Region2
+	Region3
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case Region1:
+		return "R1"
+	case Region2:
+		return "R2"
+	case Region3:
+		return "R3"
+	default:
+		return "other"
+	}
+}
+
+// Classify assigns a variance–bias point to the paper's region taxonomy.
+func Classify(bias, spread float64) Region {
+	const (
+		largeBias = -3.0 // more negative than this = "large negative bias"
+		smallBias = -1.0 // less negative than this = not an attack region
+		midVar    = 0.7  // boundary between small-medium and medium-large σ
+	)
+	switch {
+	case bias <= largeBias && spread < midVar:
+		return Region1
+	case bias > largeBias && bias <= smallBias && spread < midVar:
+		return Region2
+	case bias > largeBias && bias <= smallBias && spread >= midVar:
+		return Region3
+	default:
+		return RegionOther
+	}
+}
+
+// TimePoint is one dot on the Figure 6 time-domain plot: a submission's
+// average unfair-rating interval for a product against the MP it earned.
+type TimePoint struct {
+	SubmissionID int
+	// Interval is attack duration / number of unfair ratings (days).
+	Interval float64
+	// ProductMP is the MP gained from the product.
+	ProductMP float64
+}
+
+// TimeAnalysis builds the Figure 6 scatter for one product.
+func TimeAnalysis(scored []Scored, productID string) []TimePoint {
+	out := make([]TimePoint, 0, len(scored))
+	for _, sc := range scored {
+		unfair, ok := sc.Submission.Attack.Ratings[productID]
+		if !ok || len(unfair) < 2 {
+			continue
+		}
+		first, last := unfair.Span()
+		out = append(out, TimePoint{
+			SubmissionID: sc.Submission.ID,
+			Interval:     (last - first) / float64(len(unfair)),
+			ProductMP:    sc.MP.Product(productID),
+		})
+	}
+	return out
+}
+
+// Leaderboard returns the scored submissions ordered by overall MP,
+// strongest first.
+func Leaderboard(scored []Scored) []Scored {
+	out := make([]Scored, len(scored))
+	copy(out, scored)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MP.Overall > out[j].MP.Overall })
+	return out
+}

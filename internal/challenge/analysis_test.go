@@ -1,0 +1,241 @@
+package challenge
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/stats"
+)
+
+func scoredFixture(t *testing.T, c *Challenge, n int) []Scored {
+	t.Helper()
+	subs, err := GeneratePopulation(stats.NewRNG(123), c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored, err := c.ScoreAll(subs, agg.SAScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scored
+}
+
+func TestMarkString(t *testing.T) {
+	if got := (MarkAMP | MarkLMP).String(); got != "AMP|LMP" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Mark(0).String(); got != "-" {
+		t.Errorf("String(0) = %q", got)
+	}
+	if !(MarkAMP | MarkUMP).Has(MarkUMP) || (MarkAMP).Has(MarkLMP) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestVarianceBiasMarks(t *testing.T) {
+	c := newChallenge(t)
+	scored := scoredFixture(t, c, 30)
+	points := c.VarianceBias(scored, "tv1")
+	if len(points) != 30 {
+		t.Fatalf("points = %d", len(points))
+	}
+	var amp, lmp int
+	for _, p := range points {
+		if p.Marks.Has(MarkAMP) {
+			amp++
+		}
+		if p.Marks.Has(MarkLMP) {
+			lmp++
+		}
+		if p.Marks.Has(MarkUMP) {
+			t.Errorf("submission %d: UMP on a downgrade target (bias %v)", p.SubmissionID, p.Bias)
+		}
+		// tv1 is a downgrade target: every submission biases it down.
+		if p.Bias >= 0.5 {
+			t.Errorf("submission %d: bias %v on downgrade target", p.SubmissionID, p.Bias)
+		}
+		if p.Spread < 0 {
+			t.Errorf("negative spread %v", p.Spread)
+		}
+	}
+	if amp != 10 {
+		t.Errorf("AMP marks = %d, want 10", amp)
+	}
+	if lmp != 10 {
+		t.Errorf("LMP marks = %d, want 10", lmp)
+	}
+	// AMP marks must actually be the top-10 by overall MP.
+	lb := Leaderboard(scored)
+	topIDs := make(map[int]bool, 10)
+	for i := 0; i < 10; i++ {
+		topIDs[lb[i].Submission.ID] = true
+	}
+	for _, p := range points {
+		if p.Marks.Has(MarkAMP) != topIDs[p.SubmissionID] {
+			t.Errorf("submission %d: AMP mark inconsistent with leaderboard", p.SubmissionID)
+		}
+	}
+}
+
+func TestVarianceBiasUMPOnBoostTarget(t *testing.T) {
+	c := newChallenge(t)
+	scored := scoredFixture(t, c, 25)
+	points := c.VarianceBias(scored, "tv3") // boost target
+	ump := 0
+	for _, p := range points {
+		if p.Marks.Has(MarkUMP) {
+			ump++
+		}
+		if p.Marks.Has(MarkLMP) {
+			t.Errorf("LMP on boost target (bias %v)", p.Bias)
+		}
+	}
+	if ump != 10 {
+		t.Errorf("UMP marks = %d, want 10", ump)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		bias, spread float64
+		want         Region
+	}{
+		{-3.8, 0.1, Region1},
+		{-3.2, 0.6, Region1},
+		{-2.0, 0.3, Region2},
+		{-1.5, 0.65, Region2},
+		{-2.0, 1.2, Region3},
+		{-1.2, 0.8, Region3},
+		{-0.5, 0.3, RegionOther},
+		{0.8, 0.2, RegionOther},
+		{-3.5, 1.5, RegionOther}, // large bias + large variance
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.bias, tt.spread); got != tt.want {
+			t.Errorf("Classify(%v,%v) = %v, want %v", tt.bias, tt.spread, got, tt.want)
+		}
+	}
+	if Region1.String() != "R1" || Region2.String() != "R2" || Region3.String() != "R3" || RegionOther.String() != "other" {
+		t.Error("region names wrong")
+	}
+}
+
+func TestTimeAnalysis(t *testing.T) {
+	c := newChallenge(t)
+	scored := scoredFixture(t, c, 20)
+	points := TimeAnalysis(scored, "tv1")
+	if len(points) == 0 {
+		t.Fatal("no time points")
+	}
+	for _, p := range points {
+		if p.Interval <= 0 {
+			t.Errorf("interval %v ≤ 0", p.Interval)
+		}
+		if p.ProductMP < 0 {
+			t.Errorf("MP %v < 0", p.ProductMP)
+		}
+	}
+}
+
+func TestLeaderboardSorted(t *testing.T) {
+	c := newChallenge(t)
+	scored := scoredFixture(t, c, 15)
+	lb := Leaderboard(scored)
+	if len(lb) != 15 {
+		t.Fatalf("leaderboard = %d", len(lb))
+	}
+	for i := 1; i < len(lb); i++ {
+		if lb[i].MP.Overall > lb[i-1].MP.Overall {
+			t.Fatalf("leaderboard not sorted at %d", i)
+		}
+	}
+	// Input order untouched.
+	for i, sc := range scored {
+		if sc.Submission.ID != i {
+			t.Fatal("Leaderboard mutated its input")
+		}
+	}
+}
+
+func TestVarianceBiasSkipsMissingProducts(t *testing.T) {
+	c := newChallenge(t)
+	subs, err := GeneratePopulation(stats.NewRNG(55), c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip tv1 from one submission: its point must vanish, not zero out.
+	delete(subs[1].Attack.Ratings, "tv1")
+	scored, err := c.ScoreAll(subs, agg.SAScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := c.VarianceBias(scored, "tv1")
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.SubmissionID == 1 {
+			t.Error("stripped submission still plotted")
+		}
+	}
+}
+
+func TestTimeAnalysisSkipsTinySubmissions(t *testing.T) {
+	c := newChallenge(t)
+	subs, err := GeneratePopulation(stats.NewRNG(56), c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single-rating attack has no measurable interval.
+	subs[0].Attack.Ratings["tv1"] = subs[0].Attack.Ratings["tv1"][:1]
+	scored, err := c.ScoreAll(subs, agg.SAScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := TimeAnalysis(scored, "tv1")
+	if len(points) != 1 {
+		t.Fatalf("points = %d, want 1", len(points))
+	}
+	if points[0].SubmissionID != 1 {
+		t.Error("wrong submission kept")
+	}
+}
+
+func TestStrategyStats(t *testing.T) {
+	c := newChallenge(t)
+	scored := scoredFixture(t, c, 25)
+	st := StrategyStats(scored)
+	if len(st) == 0 {
+		t.Fatal("no strategy stats")
+	}
+	totalN := 0
+	for _, s := range st {
+		totalN += s.N
+		if s.MeanMP > s.MaxMP {
+			t.Errorf("%s: mean %v > max %v", s.Strategy, s.MeanMP, s.MaxMP)
+		}
+		if s.MeanMP < 0 {
+			t.Errorf("%s: negative mean", s.Strategy)
+		}
+	}
+	if totalN != 25 {
+		t.Errorf("stats cover %d submissions, want 25", totalN)
+	}
+	out := FormatStrategyStats(st)
+	if !strings.Contains(out, "strategy") || !strings.Contains(out, string(st[0].Strategy)) {
+		t.Errorf("formatted table missing rows:\n%s", out)
+	}
+	// Unknown strategies survive grouping.
+	scored[0].Submission.Strategy = "handcrafted"
+	st = StrategyStats(scored)
+	found := false
+	for _, s := range st {
+		if s.Strategy == "handcrafted" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unknown strategy dropped")
+	}
+}

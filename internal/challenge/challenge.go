@@ -1,0 +1,133 @@
+// Package challenge simulates the paper's Rating Challenge (Section III):
+// a fair rating dataset for 9 similar products, 50 attacker-controlled
+// biased raters, two boost targets and two downgrade targets, submissions
+// scored by the Manipulation Power metric. It also provides the
+// participant-population simulator that stands in for the 251 real human
+// submissions, and the analysis tooling behind Figures 2–4 and 6.
+package challenge
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mp"
+	"repro/internal/stats"
+)
+
+// ErrBadChallenge indicates an invalid challenge configuration.
+var ErrBadChallenge = errors.New("challenge: bad config")
+
+// Config is the rating challenge setup.
+type Config struct {
+	// FairSeed seeds the fair dataset generator.
+	FairSeed uint64
+	// Fair is the synthetic fair-data configuration (9 products, ≈4 mean).
+	Fair dataset.FairConfig
+	// BiasedRaters is the number of attacker-controlled raters (50).
+	BiasedRaters int
+	// DowngradeTargets are the products whose rating the attacker must
+	// reduce; BoostTargets those to boost (2 + 2 in the challenge).
+	DowngradeTargets []string
+	BoostTargets     []string
+}
+
+// DefaultConfig mirrors the challenge: 9 products, 150 days, 50 biased
+// raters, downgrade tv1/tv2, boost tv3/tv4.
+func DefaultConfig() Config {
+	return Config{
+		FairSeed:         2007, // the challenge ran in 2007
+		Fair:             dataset.DefaultFairConfig(),
+		BiasedRaters:     50,
+		DowngradeTargets: []string{"tv1", "tv2"},
+		BoostTargets:     []string{"tv3", "tv4"},
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if err := c.Fair.Validate(); err != nil {
+		return err
+	}
+	if c.BiasedRaters <= 0 {
+		return fmt.Errorf("%w: %d biased raters", ErrBadChallenge, c.BiasedRaters)
+	}
+	if len(c.DowngradeTargets)+len(c.BoostTargets) == 0 {
+		return fmt.Errorf("%w: no targets", ErrBadChallenge)
+	}
+	return nil
+}
+
+// Targets returns all attacked product IDs (downgrade first).
+func (c Config) Targets() []string {
+	out := make([]string, 0, len(c.DowngradeTargets)+len(c.BoostTargets))
+	out = append(out, c.DowngradeTargets...)
+	out = append(out, c.BoostTargets...)
+	return out
+}
+
+// Challenge is a ready-to-score instance: the fair dataset plus cached
+// per-scheme baseline aggregates.
+type Challenge struct {
+	Config Config
+	// Fair is the attack-free dataset participants download.
+	Fair *dataset.Dataset
+
+	baselines map[string]agg.Table
+}
+
+// New builds the challenge: generates the fair dataset and checks that
+// every target product exists.
+func New(cfg Config) (*Challenge, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fair, err := dataset.GenerateFair(stats.NewRNG(cfg.FairSeed), cfg.Fair)
+	if err != nil {
+		return nil, err
+	}
+	c := &Challenge{Config: cfg, Fair: fair, baselines: make(map[string]agg.Table)}
+	for _, id := range cfg.Targets() {
+		if _, err := fair.Product(id); err != nil {
+			return nil, fmt.Errorf("%w: target %q not in dataset", ErrBadChallenge, id)
+		}
+	}
+	return c, nil
+}
+
+// FairSeries returns the fair rating series of the target products, keyed
+// by product ID (the input the attack generator needs).
+func (c *Challenge) FairSeries() map[string]dataset.Series {
+	out := make(map[string]dataset.Series, len(c.Config.Targets()))
+	for _, id := range c.Config.Targets() {
+		p, err := c.Fair.Product(id)
+		if err != nil {
+			continue // validated in New; defensive only
+		}
+		out[id] = p.Ratings
+	}
+	return out
+}
+
+// Baseline returns (computing and caching on first use) the clean-data
+// aggregates under the given scheme.
+func (c *Challenge) Baseline(scheme agg.Scheme) agg.Table {
+	if t, ok := c.baselines[scheme.Name()]; ok {
+		return t
+	}
+	t := scheme.Aggregates(c.Fair)
+	c.baselines[scheme.Name()] = t
+	return t
+}
+
+// Score evaluates an attack submission under the given scheme and returns
+// its manipulation power.
+func (c *Challenge) Score(atk core.Attack, scheme agg.Scheme) (mp.Result, error) {
+	attacked, err := atk.Apply(c.Fair)
+	if err != nil {
+		return mp.Result{}, err
+	}
+	return mp.Compute(c.Baseline(scheme), scheme.Aggregates(attacked)), nil
+}

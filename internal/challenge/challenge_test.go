@@ -1,0 +1,190 @@
+package challenge
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// smallConfig keeps unit tests fast: 5 products over 90 days.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Fair.Products = 5
+	cfg.Fair.HorizonDays = 90
+	return cfg
+}
+
+func newChallenge(t *testing.T) *Challenge {
+	t.Helper()
+	c, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.BiasedRaters = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadChallenge) {
+		t.Errorf("zero raters: %v", err)
+	}
+	bad = DefaultConfig()
+	bad.DowngradeTargets = nil
+	bad.BoostTargets = nil
+	if err := bad.Validate(); !errors.Is(err, ErrBadChallenge) {
+		t.Errorf("no targets: %v", err)
+	}
+	bad = DefaultConfig()
+	bad.Fair.Products = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad fair config accepted")
+	}
+}
+
+func TestNewRejectsUnknownTarget(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BoostTargets = []string{"tv99"}
+	if _, err := New(cfg); !errors.Is(err, ErrBadChallenge) {
+		t.Errorf("unknown target: %v", err)
+	}
+}
+
+func TestTargetsAndFairSeries(t *testing.T) {
+	c := newChallenge(t)
+	targets := c.Config.Targets()
+	if len(targets) != 4 {
+		t.Fatalf("targets = %v", targets)
+	}
+	fs := c.FairSeries()
+	for _, id := range targets {
+		if len(fs[id]) == 0 {
+			t.Errorf("no fair series for %s", id)
+		}
+	}
+}
+
+func TestBaselineCaching(t *testing.T) {
+	c := newChallenge(t)
+	t1 := c.Baseline(agg.SAScheme{})
+	t2 := c.Baseline(agg.SAScheme{})
+	if len(t1) == 0 {
+		t.Fatal("empty baseline")
+	}
+	// Must be the exact same cached map.
+	if &t1 == nil || len(t1) != len(t2) {
+		t.Fatal("baseline changed between calls")
+	}
+	for id := range t1 {
+		for i := range t1[id] {
+			if t1[id][i] != t2[id][i] && !(t1[id][i] != t1[id][i] && t2[id][i] != t2[id][i]) {
+				t.Fatalf("baseline not cached deterministically")
+			}
+		}
+	}
+}
+
+func TestScoreStrongDowngrade(t *testing.T) {
+	c := newChallenge(t)
+	gen := core.NewGenerator(42, core.DefaultRaters(c.Config.BiasedRaters))
+	fair := c.FairSeries()
+	profile := core.Profile{
+		Bias: -3.5, StdDev: 0.1, Count: 50, StartDay: 35,
+		DurationDays: 20, Correlation: core.Independent, Quantize: true,
+	}
+	atk, err := gen.Generate(map[string]core.Profile{"tv1": profile}, fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Score(atk, agg.SAScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall < 0.5 {
+		t.Errorf("strong attack scored MP %v under SA, want ≥ 0.5", res.Overall)
+	}
+	if res.Product("tv1") != res.Overall {
+		t.Errorf("all MP should come from tv1: product %v, overall %v", res.Product("tv1"), res.Overall)
+	}
+}
+
+func TestScoreUnknownProductErrors(t *testing.T) {
+	c := newChallenge(t)
+	atk := core.Attack{Ratings: map[string]dataset.Series{"tv99": {{Day: 1, Value: 0}}}}
+	if _, err := c.Score(atk, agg.SAScheme{}); err == nil {
+		t.Error("unknown product scored without error")
+	}
+}
+
+func TestGeneratePopulation(t *testing.T) {
+	c := newChallenge(t)
+	rng := stats.NewRNG(99)
+	subs, err := GeneratePopulation(rng, c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 40 {
+		t.Fatalf("population = %d", len(subs))
+	}
+	strategies := make(map[Strategy]int)
+	for i, sub := range subs {
+		if sub.ID != i {
+			t.Errorf("submission %d has ID %d", i, sub.ID)
+		}
+		strategies[sub.Strategy]++
+		if len(sub.Profiles) != 4 {
+			t.Errorf("submission %d attacks %d products", i, len(sub.Profiles))
+		}
+		for _, pid := range c.Config.DowngradeTargets {
+			if sub.Profiles[pid].Bias >= 0 {
+				t.Errorf("submission %d: downgrade bias %v ≥ 0", i, sub.Profiles[pid].Bias)
+			}
+			s := sub.Attack.Ratings[pid]
+			if len(s) == 0 || len(s) > c.Config.BiasedRaters {
+				t.Errorf("submission %d: %d unfair ratings on %s", i, len(s), pid)
+			}
+		}
+		for _, pid := range c.Config.BoostTargets {
+			if sub.Profiles[pid].Bias <= 0 {
+				t.Errorf("submission %d: boost bias %v ≤ 0", i, sub.Profiles[pid].Bias)
+			}
+		}
+	}
+	if len(strategies) < 4 {
+		t.Errorf("only %d strategies drawn in 40 submissions: %v", len(strategies), strategies)
+	}
+}
+
+func TestGeneratePopulationDeterministic(t *testing.T) {
+	c := newChallenge(t)
+	s1, err := GeneratePopulation(stats.NewRNG(7), c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := GeneratePopulation(stats.NewRNG(7), c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i].Strategy != s2[i].Strategy {
+			t.Fatalf("strategy diverged at %d", i)
+		}
+		a1 := s1[i].Attack.Ratings["tv1"]
+		a2 := s2[i].Attack.Ratings["tv1"]
+		if len(a1) != len(a2) {
+			t.Fatalf("attack size diverged at %d", i)
+		}
+		for j := range a1 {
+			if a1[j] != a2[j] {
+				t.Fatalf("attack diverged at %d/%d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package challenge
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// The paper's team released their collected attack data to the community;
+// this file is the reproduction's analog: the simulated population —
+// submissions, per-product profiles, the unfair ratings themselves, and
+// (optionally) their scores — serializes to JSON for external analysis.
+
+// ExportedSubmission is the JSON shape of one submission.
+type ExportedSubmission struct {
+	ID       int                     `json:"id"`
+	Strategy Strategy                `json:"strategy"`
+	Profiles map[string]core.Profile `json:"profiles"`
+	// Ratings maps product ID to the unfair rating series.
+	Ratings map[string]dataset.Series `json:"ratings"`
+	// OverallMP is present when the export includes scores.
+	OverallMP *float64 `json:"overallMP,omitempty"`
+}
+
+// Export is the serialized challenge data file.
+type Export struct {
+	// Config echoes the challenge setup the data was generated against.
+	BiasedRaters     int                  `json:"biasedRaters"`
+	HorizonDays      float64              `json:"horizonDays"`
+	DowngradeTargets []string             `json:"downgradeTargets"`
+	BoostTargets     []string             `json:"boostTargets"`
+	Scheme           string               `json:"scheme,omitempty"`
+	Submissions      []ExportedSubmission `json:"submissions"`
+}
+
+// WriteSubmissions serializes a population (optionally scored — pass the
+// Scored slice from ScoreAll, or nil for raw data) to JSON.
+func (c *Challenge) WriteSubmissions(w io.Writer, subs []Submission, scored []Scored, schemeName string) error {
+	byID := make(map[int]float64, len(scored))
+	for _, sc := range scored {
+		byID[sc.Submission.ID] = sc.MP.Overall
+	}
+	exp := Export{
+		BiasedRaters:     c.Config.BiasedRaters,
+		HorizonDays:      c.Config.Fair.HorizonDays,
+		DowngradeTargets: c.Config.DowngradeTargets,
+		BoostTargets:     c.Config.BoostTargets,
+		Scheme:           schemeName,
+	}
+	for _, sub := range subs {
+		es := ExportedSubmission{
+			ID:       sub.ID,
+			Strategy: sub.Strategy,
+			Profiles: sub.Profiles,
+			Ratings:  sub.Attack.Ratings,
+		}
+		if mp, ok := byID[sub.ID]; ok {
+			v := mp
+			es.OverallMP = &v
+		}
+		exp.Submissions = append(exp.Submissions, es)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(exp); err != nil {
+		return fmt.Errorf("encode challenge export: %w", err)
+	}
+	return nil
+}
+
+// ReadSubmissions parses an export back into submissions, so externally
+// produced or archived attack data can be rescored against any scheme.
+func ReadSubmissions(r io.Reader) (Export, []Submission, error) {
+	var exp Export
+	if err := json.NewDecoder(r).Decode(&exp); err != nil {
+		return Export{}, nil, fmt.Errorf("decode challenge export: %w", err)
+	}
+	subs := make([]Submission, 0, len(exp.Submissions))
+	for _, es := range exp.Submissions {
+		ratings := make(map[string]dataset.Series, len(es.Ratings))
+		for id, s := range es.Ratings {
+			cp := s.Clone()
+			cp.Sort()
+			ratings[id] = cp
+		}
+		subs = append(subs, Submission{
+			ID:       es.ID,
+			Strategy: es.Strategy,
+			Profiles: es.Profiles,
+			Attack:   core.Attack{Ratings: ratings},
+		})
+	}
+	return exp, subs, nil
+}

@@ -1,0 +1,97 @@
+package challenge
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/stats"
+)
+
+func TestExportRoundTrip(t *testing.T) {
+	c := newChallenge(t)
+	subs, err := GeneratePopulation(stats.NewRNG(3), c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored, err := c.ScoreAll(subs, agg.SAScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSubmissions(&buf, subs, scored, "SA"); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, back, err := ReadSubmissions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Scheme != "SA" || exp.BiasedRaters != c.Config.BiasedRaters {
+		t.Errorf("export header = %+v", exp)
+	}
+	if len(back) != len(subs) {
+		t.Fatalf("round trip lost submissions: %d vs %d", len(back), len(subs))
+	}
+	for i := range subs {
+		if back[i].ID != subs[i].ID || back[i].Strategy != subs[i].Strategy {
+			t.Fatalf("submission %d metadata mismatch", i)
+		}
+		for id, s := range subs[i].Attack.Ratings {
+			got := back[i].Attack.Ratings[id]
+			if len(got) != len(s) {
+				t.Fatalf("submission %d product %s: %d vs %d ratings", i, id, len(got), len(s))
+			}
+			for j := range s {
+				if got[j] != s[j] {
+					t.Fatalf("submission %d product %s rating %d differs", i, id, j)
+				}
+			}
+		}
+		if exp.Submissions[i].OverallMP == nil {
+			t.Fatalf("submission %d missing score", i)
+		}
+		if *exp.Submissions[i].OverallMP != scored[i].MP.Overall {
+			t.Fatalf("submission %d score mismatch", i)
+		}
+	}
+
+	// Re-scoring the re-imported population reproduces the exported MPs.
+	rescored, err := c.ScoreAll(back, agg.SAScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rescored {
+		if rescored[i].MP.Overall != scored[i].MP.Overall {
+			t.Fatalf("rescore %d: %v vs %v", i, rescored[i].MP.Overall, scored[i].MP.Overall)
+		}
+	}
+}
+
+func TestExportWithoutScores(t *testing.T) {
+	c := newChallenge(t)
+	subs, err := GeneratePopulation(stats.NewRNG(4), c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSubmissions(&buf, subs, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	exp, _, err := ReadSubmissions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, es := range exp.Submissions {
+		if es.OverallMP != nil {
+			t.Error("unexpected score in unscored export")
+		}
+	}
+}
+
+func TestReadSubmissionsInvalid(t *testing.T) {
+	if _, _, err := ReadSubmissions(strings.NewReader("{oops")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+}

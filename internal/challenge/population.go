@@ -1,0 +1,201 @@
+package challenge
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Strategy is an attack archetype observed in the challenge data.
+type Strategy string
+
+// The archetype mixture. Section V-A reports that more than half of the 251
+// submissions were straightforward (NaiveMax, NaiveBurst), while the rest
+// exploited the defense in varied ways; the weights below encode that split.
+const (
+	// StrategyNaiveMax: extreme bias, tiny variance, long duration — the
+	// straightforward attack that beats simple averaging.
+	StrategyNaiveMax Strategy = "naive-max"
+	// StrategyNaiveBurst: extreme bias concentrated into 1–2 MP periods
+	// (participants who noticed the monthly MP scoring).
+	StrategyNaiveBurst Strategy = "naive-burst"
+	// StrategyModerateLowVar: medium bias, small variance — region R2.
+	StrategyModerateLowVar Strategy = "moderate-lowvar"
+	// StrategySmartHighVar: medium bias, medium-to-large variance — the
+	// region-R3 attack that weakens signal features (beats the P-scheme).
+	StrategySmartHighVar Strategy = "smart-highvar"
+	// StrategyTrickle: few ratings spread thin — low arrival rate.
+	StrategyTrickle Strategy = "trickle"
+	// StrategyRandom: uniformly random parameters (undirected users).
+	StrategyRandom Strategy = "random"
+)
+
+// Submission is one simulated participant entry.
+type Submission struct {
+	ID       int
+	Strategy Strategy
+	// Profiles holds the per-product attack parameters used.
+	Profiles map[string]core.Profile
+	// Attack is the generated unfair rating data.
+	Attack core.Attack
+}
+
+// strategyWeights is the archetype mixture (must sum to 1).
+var strategyWeights = []struct {
+	s Strategy
+	w float64
+}{
+	{StrategyNaiveMax, 0.28},
+	{StrategyNaiveBurst, 0.17},
+	{StrategyModerateLowVar, 0.14},
+	{StrategySmartHighVar, 0.18},
+	{StrategyTrickle, 0.09},
+	{StrategyRandom, 0.14},
+}
+
+func drawStrategy(rng *rand.Rand) Strategy {
+	u := rng.Float64()
+	acc := 0.0
+	for _, sw := range strategyWeights {
+		acc += sw.w
+		if u < acc {
+			return sw.s
+		}
+	}
+	return StrategyRandom
+}
+
+// GeneratePopulation simulates n challenge submissions (the paper collected
+// 251) drawn from the archetype mixture, each generated with its own
+// deterministic sub-stream of rng.
+func GeneratePopulation(rng *rand.Rand, c *Challenge, n int) ([]Submission, error) {
+	fairSeries := c.FairSeries()
+	subs := make([]Submission, 0, n)
+	for i := 0; i < n; i++ {
+		strat := drawStrategy(rng)
+		sub, err := generateSubmission(stats.Fork(rng), c, i, strat, fairSeries)
+		if err != nil {
+			return nil, fmt.Errorf("submission %d (%s): %w", i, strat, err)
+		}
+		subs = append(subs, sub)
+	}
+	return subs, nil
+}
+
+func generateSubmission(rng *rand.Rand, c *Challenge, id int, strat Strategy, fairSeries map[string]dataset.Series) (Submission, error) {
+	horizon := c.Config.Fair.HorizonDays
+	profiles := make(map[string]core.Profile, len(c.Config.Targets()))
+	for _, pid := range c.Config.DowngradeTargets {
+		p := drawDowngradeProfile(rng, strat, horizon, fairSeries[pid].Mean())
+		profiles[pid] = p
+	}
+	for _, pid := range c.Config.BoostTargets {
+		p := drawBoostProfile(rng, strat, horizon, fairSeries[pid].Mean())
+		profiles[pid] = p
+	}
+	gen := core.NewGenerator(rng.Uint64(), core.DefaultRaters(c.Config.BiasedRaters))
+	if strat == StrategyNaiveBurst && rng.Float64() < 0.5 {
+		gen.TimePattern = core.FrontLoaded
+	}
+	atk, err := gen.Generate(profiles, fairSeries)
+	if err != nil {
+		return Submission{}, err
+	}
+	return Submission{ID: id, Strategy: strat, Profiles: profiles, Attack: atk}, nil
+}
+
+// uniform draws from [lo, hi).
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func drawDowngradeProfile(rng *rand.Rand, strat Strategy, horizon, fairMean float64) core.Profile {
+	var bias, sigma, duration float64
+	var count int
+	switch strat {
+	case StrategyNaiveMax:
+		bias = uniform(rng, 0, 0.5) - fairMean // drive the product toward 0
+		sigma = uniform(rng, 0.02, 0.2)
+		duration = uniform(rng, 0.5*horizon, horizon)
+		count = 35 + rng.IntN(16)
+	case StrategyNaiveBurst:
+		bias = uniform(rng, 0, 0.6) - fairMean
+		sigma = uniform(rng, 0.02, 0.25)
+		duration = uniform(rng, 15, 45)
+		count = 35 + rng.IntN(16)
+	case StrategyModerateLowVar:
+		bias = uniform(rng, -2.6, -1.5)
+		sigma = uniform(rng, 0.1, 0.45)
+		duration = uniform(rng, 20, 80)
+		count = 30 + rng.IntN(21)
+	case StrategySmartHighVar:
+		bias = uniform(rng, -2.8, -1.5)
+		sigma = uniform(rng, 0.8, 1.4)
+		duration = uniform(rng, 25, 70)
+		count = 40 + rng.IntN(11)
+	case StrategyTrickle:
+		bias = uniform(rng, -3, -1)
+		sigma = uniform(rng, 0.2, 0.8)
+		duration = uniform(rng, 0.7*horizon, horizon)
+		count = 10 + rng.IntN(16)
+	default: // StrategyRandom
+		bias = uniform(rng, -4, 0)
+		sigma = uniform(rng, 0, 1.5)
+		duration = uniform(rng, 10, horizon)
+		count = 10 + rng.IntN(41)
+	}
+	return finishProfile(rng, bias, sigma, duration, count, horizon)
+}
+
+func drawBoostProfile(rng *rand.Rand, strat Strategy, horizon, fairMean float64) core.Profile {
+	headroom := dataset.MaxValue - fairMean // ≈ 1 for a mean-4 product
+	var bias, sigma, duration float64
+	var count int
+	switch strat {
+	case StrategyNaiveMax, StrategyNaiveBurst:
+		bias = headroom * uniform(rng, 0.8, 1.0)
+		sigma = uniform(rng, 0.02, 0.2)
+		duration = uniform(rng, 15, horizon)
+		count = 35 + rng.IntN(16)
+	case StrategySmartHighVar:
+		bias = headroom * uniform(rng, 0.5, 0.9)
+		sigma = uniform(rng, 0.5, 1.0)
+		duration = uniform(rng, 25, 70)
+		count = 40 + rng.IntN(11)
+	case StrategyTrickle:
+		bias = headroom * uniform(rng, 0.4, 0.9)
+		sigma = uniform(rng, 0.1, 0.5)
+		duration = uniform(rng, 0.7*horizon, horizon)
+		count = 10 + rng.IntN(16)
+	default:
+		bias = headroom * uniform(rng, 0.3, 1.0)
+		sigma = uniform(rng, 0, 0.8)
+		duration = uniform(rng, 10, horizon)
+		count = 15 + rng.IntN(36)
+	}
+	return finishProfile(rng, bias, sigma, duration, count, horizon)
+}
+
+// finishProfile adds the per-submission "manual" jitter the survey reports
+// (most participants tweaked generated data by hand) and places the attack
+// window inside the horizon.
+func finishProfile(rng *rand.Rand, bias, sigma, duration float64, count int, horizon float64) core.Profile {
+	bias += uniform(rng, -0.1, 0.1)
+	sigma *= uniform(rng, 0.9, 1.1)
+	if duration > horizon {
+		duration = horizon
+	}
+	start := uniform(rng, 0, horizon-duration)
+	return core.Profile{
+		Bias:         bias,
+		StdDev:       sigma,
+		Count:        count,
+		StartDay:     start,
+		DurationDays: duration,
+		Correlation:  core.Independent,
+		Quantize:     true,
+	}
+}

@@ -1,0 +1,65 @@
+package challenge
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StrategyStat aggregates one archetype's outcomes under a scheme.
+type StrategyStat struct {
+	Strategy Strategy
+	N        int
+	MeanMP   float64
+	MaxMP    float64
+}
+
+// AllStrategies lists the archetypes in presentation order.
+func AllStrategies() []Strategy {
+	return []Strategy{
+		StrategyNaiveMax, StrategyNaiveBurst, StrategyModerateLowVar,
+		StrategySmartHighVar, StrategyTrickle, StrategyRandom,
+	}
+}
+
+// StrategyStats groups scored submissions by archetype.
+func StrategyStats(scored []Scored) []StrategyStat {
+	acc := make(map[Strategy]*StrategyStat)
+	for _, sc := range scored {
+		st := acc[sc.Submission.Strategy]
+		if st == nil {
+			st = &StrategyStat{Strategy: sc.Submission.Strategy}
+			acc[sc.Submission.Strategy] = st
+		}
+		st.N++
+		st.MeanMP += sc.MP.Overall
+		if sc.MP.Overall > st.MaxMP {
+			st.MaxMP = sc.MP.Overall
+		}
+	}
+	var out []StrategyStat
+	for _, s := range AllStrategies() {
+		st := acc[s]
+		if st == nil {
+			continue
+		}
+		st.MeanMP /= float64(st.N)
+		out = append(out, *st)
+		delete(acc, s)
+	}
+	// Unknown strategies (e.g. imported data) follow in arbitrary order.
+	for _, st := range acc {
+		st.MeanMP /= float64(st.N)
+		out = append(out, *st)
+	}
+	return out
+}
+
+// FormatStrategyStats renders the per-archetype table.
+func FormatStrategyStats(stats []StrategyStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %5s %10s %10s\n", "strategy", "n", "mean MP", "max MP")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "%-18s %5d %10.4f %10.4f\n", st.Strategy, st.N, st.MeanMP, st.MaxMP)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+// Package cluster implements single-linkage agglomerative hierarchical
+// clustering over one-dimensional data. It replaces the Matlab
+// clusterdata() call the paper uses inside the histogram-change detector:
+// the rating values in a window are cut into two clusters and the cluster
+// size ratio is the detector statistic.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadK indicates a requested cluster count outside [1, len(data)].
+var ErrBadK = errors.New("cluster: bad cluster count")
+
+// Assignment maps each input index to a cluster label in [0, k).
+type Assignment []int
+
+// Sizes returns the number of points per cluster label.
+func (a Assignment) Sizes(k int) []int {
+	sizes := make([]int, k)
+	for _, label := range a {
+		if label >= 0 && label < k {
+			sizes[label]++
+		}
+	}
+	return sizes
+}
+
+// SingleLinkage cuts xs into k clusters using single-linkage agglomerative
+// clustering (merge order: smallest inter-cluster minimum distance first)
+// and returns the per-point cluster assignment. Labels are assigned in order
+// of each cluster's smallest member value, so label 0 is the cluster
+// containing the minimum.
+//
+// For one-dimensional data, single linkage cut at k clusters is equivalent
+// to splitting the sorted values at the k−1 largest gaps; this implementation
+// uses that equivalence (O(n log n)) and is validated against a naive
+// agglomerative reference in the tests.
+func SingleLinkage(xs []float64, k int) (Assignment, error) {
+	n := len(xs)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w: k=%d with n=%d", ErrBadK, k, n)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+
+	// Find the k−1 largest adjacent gaps in the sorted order.
+	type gap struct {
+		pos  int // boundary after sorted position pos
+		size float64
+	}
+	gaps := make([]gap, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		gaps = append(gaps, gap{pos: i, size: xs[order[i+1]] - xs[order[i]]})
+	}
+	sort.Slice(gaps, func(a, b int) bool {
+		if gaps[a].size != gaps[b].size {
+			return gaps[a].size > gaps[b].size
+		}
+		return gaps[a].pos < gaps[b].pos // deterministic tie-break
+	})
+	cut := make(map[int]bool, k-1)
+	for i := 0; i < k-1; i++ {
+		cut[gaps[i].pos] = true
+	}
+
+	out := make(Assignment, n)
+	label := 0
+	for rank, idx := range order {
+		out[idx] = label
+		if cut[rank] {
+			label++
+		}
+	}
+	return out, nil
+}
+
+// TwoClusterSizes cuts xs into two single-linkage clusters and returns the
+// two cluster sizes (n1 for the low-value cluster, n2 for the high-value
+// cluster). When xs has fewer than 2 points, it returns (len(xs), 0).
+func TwoClusterSizes(xs []float64) (n1, n2 int) {
+	if len(xs) < 2 {
+		return len(xs), 0
+	}
+	asg, err := SingleLinkage(xs, 2)
+	if err != nil {
+		return len(xs), 0
+	}
+	sizes := asg.Sizes(2)
+	return sizes[0], sizes[1]
+}
+
+// SizeRatio returns min(n1/n2, n2/n1) for the two-cluster split of xs — the
+// paper's Histogram Change statistic (Eq. 6). A balanced split (two real
+// rating populations) yields a value near 1; a lone outlier cluster yields a
+// value near 0. Degenerate inputs (n < 2 or an empty cluster) return 0.
+func SizeRatio(xs []float64) float64 {
+	n1, n2 := TwoClusterSizes(xs)
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	r := float64(n1) / float64(n2)
+	return math.Min(r, 1/r)
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// naiveSingleLinkage is an O(n³) reference implementation used to validate
+// the gap-based fast path.
+func naiveSingleLinkage(xs []float64, k int) Assignment {
+	n := len(xs)
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	dist := func(a, b []int) float64 {
+		best := math.Inf(1)
+		for _, i := range a {
+			for _, j := range b {
+				if d := math.Abs(xs[i] - xs[j]); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+	for len(clusters) > k {
+		bi, bj, best := 0, 1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := dist(clusters[i], clusters[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	// Label clusters by their minimum value, like SingleLinkage.
+	minOf := func(c []int) float64 {
+		m := xs[c[0]]
+		for _, i := range c[1:] {
+			if xs[i] < m {
+				m = xs[i]
+			}
+		}
+		return m
+	}
+	for i := 0; i < len(clusters); i++ {
+		for j := i + 1; j < len(clusters); j++ {
+			if minOf(clusters[j]) < minOf(clusters[i]) {
+				clusters[i], clusters[j] = clusters[j], clusters[i]
+			}
+		}
+	}
+	out := make(Assignment, n)
+	for label, c := range clusters {
+		for _, i := range c {
+			out[i] = label
+		}
+	}
+	return out
+}
+
+func TestSingleLinkageTwoGroups(t *testing.T) {
+	xs := []float64{4.0, 4.5, 4.2, 0.5, 0.7, 4.1}
+	asg, err := SingleLinkage(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low cluster = {0.5, 0.7} must share a label distinct from the 4s.
+	if asg[3] != asg[4] {
+		t.Errorf("low values split: %v", asg)
+	}
+	if asg[0] != asg[1] || asg[0] != asg[2] || asg[0] != asg[5] {
+		t.Errorf("high values split: %v", asg)
+	}
+	if asg[0] == asg[3] {
+		t.Errorf("clusters merged: %v", asg)
+	}
+	if asg[3] != 0 {
+		t.Errorf("low cluster should be label 0: %v", asg)
+	}
+	sizes := asg.Sizes(2)
+	if sizes[0] != 2 || sizes[1] != 4 {
+		t.Errorf("Sizes = %v, want [2 4]", sizes)
+	}
+}
+
+func TestSingleLinkageBadK(t *testing.T) {
+	if _, err := SingleLinkage([]float64{1, 2}, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := SingleLinkage([]float64{1, 2}, 3); !errors.Is(err, ErrBadK) {
+		t.Errorf("k>n error = %v", err)
+	}
+}
+
+func TestSingleLinkageKEqualsN(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	asg, err := SingleLinkage(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point its own cluster, labels by value order: 1→0, 2→1, 3→2.
+	if asg[0] != 2 || asg[1] != 0 || asg[2] != 1 {
+		t.Errorf("assignment = %v", asg)
+	}
+}
+
+func TestSingleLinkageMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.IntN(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 5
+		}
+		k := 1 + rng.IntN(3)
+		if k > n {
+			k = n
+		}
+		got, err := SingleLinkage(xs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveSingleLinkage(xs, k)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: fast %v != naive %v (xs=%v, k=%d)", trial, got, want, xs, k)
+			}
+		}
+	}
+}
+
+func TestTwoClusterSizes(t *testing.T) {
+	if n1, n2 := TwoClusterSizes(nil); n1 != 0 || n2 != 0 {
+		t.Errorf("empty = (%d,%d)", n1, n2)
+	}
+	if n1, n2 := TwoClusterSizes([]float64{4}); n1 != 1 || n2 != 0 {
+		t.Errorf("single = (%d,%d)", n1, n2)
+	}
+	n1, n2 := TwoClusterSizes([]float64{1, 1.1, 4, 4.1, 4.2})
+	if n1 != 2 || n2 != 3 {
+		t.Errorf("sizes = (%d,%d), want (2,3)", n1, n2)
+	}
+}
+
+func TestSizeRatio(t *testing.T) {
+	// Balanced bimodal → ratio near 1.
+	balanced := []float64{1, 1.1, 1.2, 4, 4.1, 4.2}
+	if got := SizeRatio(balanced); got != 1 {
+		t.Errorf("balanced SizeRatio = %v, want 1", got)
+	}
+	// Lone outlier → small ratio.
+	outlier := []float64{4, 4.1, 4.2, 4.3, 0.1}
+	if got := SizeRatio(outlier); got != 0.25 {
+		t.Errorf("outlier SizeRatio = %v, want 0.25", got)
+	}
+	if got := SizeRatio([]float64{3}); got != 0 {
+		t.Errorf("degenerate SizeRatio = %v, want 0", got)
+	}
+}
+
+// Property: assignments are a valid labeling — every label in [0,k), all k
+// labels used, sizes sum to n.
+func TestSingleLinkageValidLabelingProperty(t *testing.T) {
+	f := func(raw []uint16, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 100
+		}
+		k := 1 + int(kRaw)%len(xs)
+		asg, err := SingleLinkage(xs, k)
+		if err != nil {
+			return false
+		}
+		sizes := asg.Sizes(k)
+		total := 0
+		for _, s := range sizes {
+			if s == 0 {
+				return false // every label must be used
+			}
+			total += s
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

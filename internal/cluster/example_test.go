@@ -1,0 +1,24 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+func ExampleSingleLinkage() {
+	// Honest ratings near 4 and a colluding block near 1.
+	values := []float64{4.0, 4.5, 1.0, 4.0, 1.5, 3.5, 1.0}
+	assignment, err := cluster.SingleLinkage(values, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("labels:", assignment)
+	fmt.Println("sizes: ", assignment.Sizes(2))
+	fmt.Printf("HC statistic: %.2f\n", cluster.SizeRatio(values))
+	// Output:
+	// labels: [1 1 0 1 0 1 0]
+	// sizes:  [3 4]
+	// HC statistic: 0.75
+}

@@ -1,0 +1,40 @@
+package cluster
+
+import "testing"
+
+// FuzzSingleLinkage checks the clusterer never panics and always yields a
+// valid labeling for arbitrary inputs.
+func FuzzSingleLinkage(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 201}, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{5}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0}, uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint8) {
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b) / 51 // 0 … 5
+		}
+		k := int(kRaw)
+		asg, err := SingleLinkage(xs, k)
+		if err != nil {
+			if k >= 1 && k <= len(xs) {
+				t.Fatalf("valid k=%d rejected: %v", k, err)
+			}
+			return
+		}
+		if len(asg) != len(xs) {
+			t.Fatalf("assignment length %d != %d", len(asg), len(xs))
+		}
+		sizes := asg.Sizes(k)
+		total := 0
+		for _, s := range sizes {
+			if s == 0 {
+				t.Fatal("empty cluster")
+			}
+			total += s
+		}
+		if total != len(xs) {
+			t.Fatalf("sizes sum %d != %d", total, len(xs))
+		}
+	})
+}

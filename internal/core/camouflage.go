@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Camouflage describes the trust-bootstrapping collusion pattern (an
+// extension beyond the paper's collected attacks, in the direction of the
+// collusion models it cites): before — or while — attacking the targets,
+// the biased raters also submit honest-looking ratings on non-target
+// products so the defense's trust manager accrues S evidence for them and
+// Eq. 7 gives their later unfair ratings full weight.
+type Camouflage struct {
+	// Products are the non-target products to rate honestly.
+	Products []string
+	// RatersPerProduct is how many of the biased raters rate each
+	// camouflage product (capped at the generator's rater pool).
+	RatersPerProduct int
+	// StartDay / DurationDays place the camouflage window.
+	StartDay     float64
+	DurationDays float64
+	// Sigma is the noise around each product's fair mean (default-like
+	// honest noise ≈ 0.6 makes the ratings indistinguishable).
+	Sigma float64
+}
+
+// Validate reports the first problem with the camouflage plan.
+func (c Camouflage) Validate() error {
+	switch {
+	case len(c.Products) == 0:
+		return fmt.Errorf("%w: camouflage without products", ErrBadProfile)
+	case c.RatersPerProduct <= 0:
+		return fmt.Errorf("%w: camouflage raters %d", ErrBadProfile, c.RatersPerProduct)
+	case c.DurationDays <= 0:
+		return fmt.Errorf("%w: camouflage duration %v", ErrBadProfile, c.DurationDays)
+	case c.Sigma < 0:
+		return fmt.Errorf("%w: camouflage sigma %v", ErrBadProfile, c.Sigma)
+	}
+	return nil
+}
+
+// GenerateCamouflage produces the honest-looking ratings of the plan, one
+// product series per camouflage product. The ratings carry the ground-truth
+// Unfair tag (they are part of the manipulation even though their values
+// are honest) and are signed by the generator's biased raters.
+func (g *Generator) GenerateCamouflage(c Camouflage, fairByProduct map[string]dataset.Series) (Attack, error) {
+	if err := c.Validate(); err != nil {
+		return Attack{}, err
+	}
+	n := c.RatersPerProduct
+	if n > len(g.raters) {
+		n = len(g.raters)
+	}
+	atk := Attack{Ratings: make(map[string]dataset.Series, len(c.Products))}
+	for _, id := range c.Products {
+		fair, ok := fairByProduct[id]
+		if !ok {
+			return Attack{}, fmt.Errorf("%w: no fair series for camouflage product %q", ErrBadProfile, id)
+		}
+		mean := fair.Mean()
+		times := GenerateTimes(g.rng, c.StartDay, c.DurationDays, n, g.TimePattern)
+		order := g.rng.Perm(len(g.raters))
+		series := make(dataset.Series, len(times))
+		for i, day := range times {
+			v := stats.Clamp(mean+g.rng.NormFloat64()*c.Sigma, dataset.MinValue, dataset.MaxValue)
+			series[i] = dataset.Rating{
+				Day:    day,
+				Value:  dataset.QuantizeHalfStar(v),
+				Rater:  g.raters[order[i]],
+				Unfair: true,
+			}
+		}
+		series.Sort()
+		atk.Ratings[id] = series
+	}
+	return atk, nil
+}
+
+// Merge combines two attacks (e.g. a camouflage phase and a strike phase)
+// into one submission. Product series are concatenated and re-sorted.
+func (a Attack) Merge(other Attack) Attack {
+	out := Attack{Ratings: make(map[string]dataset.Series, len(a.Ratings)+len(other.Ratings))}
+	for id, s := range a.Ratings {
+		out.Ratings[id] = s.Clone()
+	}
+	for id, s := range other.Ratings {
+		if existing, ok := out.Ratings[id]; ok {
+			out.Ratings[id] = existing.Merge(s)
+		} else {
+			out.Ratings[id] = s.Clone()
+		}
+	}
+	return out
+}

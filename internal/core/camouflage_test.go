@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func camouflagePlan() Camouflage {
+	return Camouflage{
+		Products:         []string{"tv5"},
+		RatersPerProduct: 40,
+		StartDay:         5,
+		DurationDays:     20,
+		Sigma:            0.6,
+	}
+}
+
+func TestCamouflageValidate(t *testing.T) {
+	if err := camouflagePlan().Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Camouflage)
+	}{
+		{"no products", func(c *Camouflage) { c.Products = nil }},
+		{"zero raters", func(c *Camouflage) { c.RatersPerProduct = 0 }},
+		{"zero duration", func(c *Camouflage) { c.DurationDays = 0 }},
+		{"negative sigma", func(c *Camouflage) { c.Sigma = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := camouflagePlan()
+			tt.mutate(&c)
+			if err := c.Validate(); !errors.Is(err, ErrBadProfile) {
+				t.Errorf("Validate = %v", err)
+			}
+		})
+	}
+}
+
+func TestGenerateCamouflageLooksHonest(t *testing.T) {
+	g := NewGenerator(21, DefaultRaters(50))
+	fair := map[string]dataset.Series{"tv5": fairSeriesFixture()}
+	atk, err := g.GenerateCamouflage(camouflagePlan(), fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := atk.Ratings["tv5"]
+	if len(s) != 40 {
+		t.Fatalf("camouflage ratings = %d", len(s))
+	}
+	fairMean := fair["tv5"].Mean()
+	if got := s.Mean(); math.Abs(got-fairMean) > 0.35 {
+		t.Errorf("camouflage mean %v far from fair mean %v", got, fairMean)
+	}
+	seen := map[string]bool{}
+	for _, r := range s {
+		if !r.Unfair {
+			t.Fatal("camouflage rating missing ground-truth tag")
+		}
+		if r.Day < 5 || r.Day >= 25 {
+			t.Fatalf("camouflage day %v outside window", r.Day)
+		}
+		if seen[r.Rater] {
+			t.Fatalf("rater %s rated camouflage product twice", r.Rater)
+		}
+		seen[r.Rater] = true
+	}
+}
+
+func TestGenerateCamouflageMissingFair(t *testing.T) {
+	g := NewGenerator(21, DefaultRaters(50))
+	if _, err := g.GenerateCamouflage(camouflagePlan(), nil); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestGenerateCamouflageRaterCap(t *testing.T) {
+	g := NewGenerator(21, DefaultRaters(10))
+	plan := camouflagePlan()
+	plan.RatersPerProduct = 99
+	atk, err := g.GenerateCamouflage(plan, map[string]dataset.Series{"tv5": fairSeriesFixture()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(atk.Ratings["tv5"]); got != 10 {
+		t.Errorf("camouflage ratings = %d, want capped at 10", got)
+	}
+}
+
+func TestAttackMerge(t *testing.T) {
+	a := Attack{Ratings: map[string]dataset.Series{
+		"tv1": {{Day: 5, Value: 1, Rater: "x"}},
+		"tv2": {{Day: 3, Value: 2, Rater: "y"}},
+	}}
+	b := Attack{Ratings: map[string]dataset.Series{
+		"tv1": {{Day: 1, Value: 0, Rater: "z"}},
+		"tv3": {{Day: 9, Value: 5, Rater: "w"}},
+	}}
+	m := a.Merge(b)
+	if len(m.Ratings) != 3 {
+		t.Fatalf("merged products = %d", len(m.Ratings))
+	}
+	if got := m.Ratings["tv1"]; len(got) != 2 || got[0].Day != 1 {
+		t.Errorf("tv1 merge = %v", got)
+	}
+	if m.TotalRatings() != 4 {
+		t.Errorf("TotalRatings = %d", m.TotalRatings())
+	}
+	// Originals untouched.
+	if len(a.Ratings["tv1"]) != 1 || len(b.Ratings["tv1"]) != 1 {
+		t.Error("Merge mutated inputs")
+	}
+	m.Ratings["tv2"][0].Value = 99
+	if a.Ratings["tv2"][0].Value == 99 {
+		t.Error("Merge shares storage with input")
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import "fmt"
+
+// Region is an axis-aligned rectangle on the variance–bias plane
+// (horizontal axis bias, vertical axis standard deviation).
+type Region struct {
+	BiasLo, BiasHi   float64
+	SigmaLo, SigmaHi float64
+}
+
+// Center returns the region's center point — the (bias, σ) a subarea
+// represents in Procedure 2.
+func (r Region) Center() (bias, sigma float64) {
+	return (r.BiasLo + r.BiasHi) / 2, (r.SigmaLo + r.SigmaHi) / 2
+}
+
+// BiasSpan returns the width of the region on the bias axis.
+func (r Region) BiasSpan() float64 { return r.BiasHi - r.BiasLo }
+
+// SigmaSpan returns the height of the region on the σ axis.
+func (r Region) SigmaSpan() float64 { return r.SigmaHi - r.SigmaLo }
+
+// Valid reports whether the region is non-degenerate.
+func (r Region) Valid() bool {
+	return r.BiasHi > r.BiasLo && r.SigmaHi >= r.SigmaLo && r.SigmaLo >= 0
+}
+
+// quadrants splits the region into 4 subareas (N = 4 in the paper's
+// Figure 5 run), each expanded by the overlap fraction so subareas may
+// overlap as Procedure 2 allows.
+func (r Region) quadrants(overlap float64) []Region {
+	midB := (r.BiasLo + r.BiasHi) / 2
+	midS := (r.SigmaLo + r.SigmaHi) / 2
+	growB := overlap * r.BiasSpan() / 2
+	growS := overlap * r.SigmaSpan() / 2
+	clip := func(q Region) Region {
+		if q.BiasLo < r.BiasLo {
+			q.BiasLo = r.BiasLo
+		}
+		if q.BiasHi > r.BiasHi {
+			q.BiasHi = r.BiasHi
+		}
+		if q.SigmaLo < r.SigmaLo {
+			q.SigmaLo = r.SigmaLo
+		}
+		if q.SigmaHi > r.SigmaHi {
+			q.SigmaHi = r.SigmaHi
+		}
+		return q
+	}
+	return []Region{
+		clip(Region{r.BiasLo, midB + growB, r.SigmaLo, midS + growS}),
+		clip(Region{midB - growB, r.BiasHi, r.SigmaLo, midS + growS}),
+		clip(Region{r.BiasLo, midB + growB, midS - growS, r.SigmaHi}),
+		clip(Region{midB - growB, r.BiasHi, midS - growS, r.SigmaHi}),
+	}
+}
+
+// Evaluator scores one (bias, σ) candidate. Procedure 2 calls it m times
+// per subarea with distinct trial indices; the evaluator is expected to
+// generate a fresh random attack per trial and return the resulting
+// manipulation power.
+type Evaluator func(bias, sigma float64, trial int) float64
+
+// SearchConfig parameterizes Procedure 2.
+type SearchConfig struct {
+	// Initial is the starting interested-area. The paper's Figure 5 run
+	// uses bias −4…0, σ 0…2.
+	Initial Region
+	// Trials is m, the random attack sets evaluated per subarea center.
+	Trials int
+	// Overlap expands each subarea by this fraction (subareas may
+	// overlap, per Procedure 2 line 4). 0 disables overlap.
+	Overlap float64
+	// MinBiasSpan / MinSigmaSpan stop the recursion once the
+	// interested-area is smaller than these thresholds.
+	MinBiasSpan  float64
+	MinSigmaSpan float64
+	// MaxRounds hard-bounds the loop.
+	MaxRounds int
+}
+
+// DefaultSearchConfig mirrors the paper's Figure 5 experiment: initial area
+// bias 0…−4, σ 0…2, N = 4 subareas, m = 10 trials, ≈4 rounds.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{
+		Initial:      Region{BiasLo: -4, BiasHi: 0, SigmaLo: 0, SigmaHi: 2},
+		Trials:       10,
+		Overlap:      0.1,
+		MinBiasSpan:  0.5,
+		MinSigmaSpan: 0.25,
+		MaxRounds:    8,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c SearchConfig) Validate() error {
+	switch {
+	case !c.Initial.Valid():
+		return fmt.Errorf("%w: invalid initial region %+v", ErrBadSearch, c.Initial)
+	case c.Trials <= 0:
+		return fmt.Errorf("%w: trials %d", ErrBadSearch, c.Trials)
+	case c.MaxRounds <= 0:
+		return fmt.Errorf("%w: max rounds %d", ErrBadSearch, c.MaxRounds)
+	case c.Overlap < 0 || c.Overlap >= 1:
+		return fmt.Errorf("%w: overlap %v", ErrBadSearch, c.Overlap)
+	}
+	return nil
+}
+
+// SearchStep records one round of the region search.
+type SearchStep struct {
+	// Chosen is the subarea selected as the new interested-area.
+	Chosen Region
+	// CenterBias and CenterSigma are the chosen subarea's center.
+	CenterBias, CenterSigma float64
+	// BestMP is the maximum MP observed in the chosen subarea this round.
+	BestMP float64
+}
+
+// SearchResult is the outcome of Procedure 2.
+type SearchResult struct {
+	// Steps traces the interested-area through the rounds (Figure 5).
+	Steps []SearchStep
+	// Final is the last interested-area.
+	Final Region
+	// BestBias, BestSigma are the final area's center.
+	BestBias, BestSigma float64
+	// BestMP is the largest MP observed anywhere during the search.
+	BestMP float64
+}
+
+// SearchOptimalRegion runs Procedure 2: recursively subdivide the
+// interested-area into 4 (possibly overlapping) subareas, score each
+// subarea's center with Trials random attacks via eval, recurse into the
+// best subarea, and stop when the area is smaller than the thresholds.
+func SearchOptimalRegion(cfg SearchConfig, eval Evaluator) (SearchResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	area := cfg.Initial
+	res := SearchResult{}
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if area.BiasSpan() < cfg.MinBiasSpan && area.SigmaSpan() < cfg.MinSigmaSpan {
+			break
+		}
+		var best Region
+		bestMP := -1.0
+		for _, sub := range area.quadrants(cfg.Overlap) {
+			bias, sigma := sub.Center()
+			subBest := -1.0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				if v := eval(bias, sigma, trial); v > subBest {
+					subBest = v
+				}
+			}
+			if subBest > bestMP {
+				best, bestMP = sub, subBest
+			}
+		}
+		area = best
+		cb, cs := area.Center()
+		res.Steps = append(res.Steps, SearchStep{
+			Chosen: area, CenterBias: cb, CenterSigma: cs, BestMP: bestMP,
+		})
+		if bestMP > res.BestMP {
+			res.BestMP = bestMP
+		}
+	}
+	res.Final = area
+	res.BestBias, res.BestSigma = area.Center()
+	return res, nil
+}

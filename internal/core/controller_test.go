@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRegionGeometry(t *testing.T) {
+	r := Region{BiasLo: -4, BiasHi: 0, SigmaLo: 0, SigmaHi: 2}
+	b, s := r.Center()
+	if b != -2 || s != 1 {
+		t.Errorf("Center = (%v,%v)", b, s)
+	}
+	if r.BiasSpan() != 4 || r.SigmaSpan() != 2 {
+		t.Errorf("spans = (%v,%v)", r.BiasSpan(), r.SigmaSpan())
+	}
+	if !r.Valid() {
+		t.Error("valid region rejected")
+	}
+	if (Region{BiasLo: 0, BiasHi: 0}).Valid() {
+		t.Error("degenerate region accepted")
+	}
+	if (Region{BiasLo: -1, BiasHi: 0, SigmaLo: -1, SigmaHi: 1}).Valid() {
+		t.Error("negative sigma region accepted")
+	}
+}
+
+func TestRegionQuadrants(t *testing.T) {
+	r := Region{BiasLo: -4, BiasHi: 0, SigmaLo: 0, SigmaHi: 2}
+	qs := r.quadrants(0)
+	if len(qs) != 4 {
+		t.Fatalf("quadrants = %d", len(qs))
+	}
+	for _, q := range qs {
+		if !q.Valid() {
+			t.Errorf("invalid quadrant %+v", q)
+		}
+		if q.BiasLo < r.BiasLo || q.BiasHi > r.BiasHi || q.SigmaLo < r.SigmaLo || q.SigmaHi > r.SigmaHi {
+			t.Errorf("quadrant %+v escapes parent", q)
+		}
+		if math.Abs(q.BiasSpan()-2) > 1e-9 || math.Abs(q.SigmaSpan()-1) > 1e-9 {
+			t.Errorf("quadrant %+v wrong size without overlap", q)
+		}
+	}
+	// With overlap, quadrants grow but stay inside the parent.
+	for _, q := range r.quadrants(0.2) {
+		if q.BiasLo < r.BiasLo || q.BiasHi > r.BiasHi {
+			t.Errorf("overlapping quadrant %+v escapes parent", q)
+		}
+		if q.BiasSpan() <= 2 {
+			t.Errorf("overlapping quadrant %+v did not grow", q)
+		}
+	}
+}
+
+func TestSearchConfigValidate(t *testing.T) {
+	good := DefaultSearchConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*SearchConfig)
+	}{
+		{"bad region", func(c *SearchConfig) { c.Initial = Region{} }},
+		{"zero trials", func(c *SearchConfig) { c.Trials = 0 }},
+		{"zero rounds", func(c *SearchConfig) { c.MaxRounds = 0 }},
+		{"overlap ≥ 1", func(c *SearchConfig) { c.Overlap = 1 }},
+		{"negative overlap", func(c *SearchConfig) { c.Overlap = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := good
+			tt.mutate(&c)
+			if err := c.Validate(); !errors.Is(err, ErrBadSearch) {
+				t.Errorf("Validate = %v, want ErrBadSearch", err)
+			}
+		})
+	}
+}
+
+func TestSearchConvergesToPlantedOptimum(t *testing.T) {
+	// Plant a smooth MP landscape with its maximum at (−2.3, 1.5) — the
+	// region the paper's Figure 5 search converges to — and check the
+	// search lands nearby.
+	cfg := DefaultSearchConfig()
+	eval := func(bias, sigma float64, trial int) float64 {
+		db := bias + 2.3
+		ds := sigma - 1.5
+		noise := 0.02 * float64(trial%3)
+		return 2*math.Exp(-(db*db+ds*ds)) + noise
+	}
+	res, err := SearchOptimalRegion(cfg, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BestBias-(-2.3)) > 0.8 {
+		t.Errorf("BestBias = %v, want ≈ -2.3", res.BestBias)
+	}
+	if math.Abs(res.BestSigma-1.5) > 0.5 {
+		t.Errorf("BestSigma = %v, want ≈ 1.5", res.BestSigma)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no search steps recorded")
+	}
+	// The interested-area must shrink monotonically.
+	prev := cfg.Initial
+	for i, step := range res.Steps {
+		if step.Chosen.BiasSpan() > prev.BiasSpan()+1e-9 || step.Chosen.SigmaSpan() > prev.SigmaSpan()+1e-9 {
+			t.Errorf("step %d grew the area: %+v -> %+v", i, prev, step.Chosen)
+		}
+		prev = step.Chosen
+	}
+	if !res.Final.Valid() {
+		t.Error("final region invalid")
+	}
+	if res.BestMP <= 0 {
+		t.Errorf("BestMP = %v", res.BestMP)
+	}
+}
+
+func TestSearchStopsAtThreshold(t *testing.T) {
+	cfg := DefaultSearchConfig()
+	cfg.MinBiasSpan = 3 // stop almost immediately
+	cfg.MinSigmaSpan = 1.5
+	res, err := SearchOptimalRegion(cfg, func(b, s float64, trial int) float64 { return -b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Errorf("steps = %d, want 1 (threshold met after first shrink)", len(res.Steps))
+	}
+}
+
+func TestSearchInvalidConfig(t *testing.T) {
+	_, err := SearchOptimalRegion(SearchConfig{}, func(b, s float64, trial int) float64 { return 0 })
+	if !errors.Is(err, ErrBadSearch) {
+		t.Errorf("error = %v, want ErrBadSearch", err)
+	}
+}

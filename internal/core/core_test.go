@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestProfileValidate(t *testing.T) {
+	valid := Profile{
+		Bias: -2, StdDev: 0.5, Count: 50, StartDay: 30,
+		DurationDays: 20, Correlation: Independent, Quantize: true,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"zero count", func(p *Profile) { p.Count = 0 }},
+		{"negative stddev", func(p *Profile) { p.StdDev = -0.1 }},
+		{"zero duration", func(p *Profile) { p.DurationDays = 0 }},
+		{"negative start", func(p *Profile) { p.StartDay = -1 }},
+		{"bad correlation", func(p *Profile) { p.Correlation = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := valid
+			tt.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, ErrBadProfile) {
+				t.Errorf("Validate = %v, want ErrBadProfile", err)
+			}
+		})
+	}
+}
+
+func TestProfileArrivalInterval(t *testing.T) {
+	p := Profile{Count: 50, DurationDays: 150}
+	if got := p.ArrivalInterval(); got != 3 {
+		t.Errorf("ArrivalInterval = %v, want 3", got)
+	}
+	if got := (Profile{}).ArrivalInterval(); got != 0 {
+		t.Errorf("empty ArrivalInterval = %v", got)
+	}
+}
+
+func TestCorrelationModeString(t *testing.T) {
+	if Independent.String() != "independent" ||
+		Shuffled.String() != "shuffled" ||
+		HeuristicAnti.String() != "heuristic-anti" {
+		t.Error("mode names wrong")
+	}
+	if CorrelationMode(9).String() != "correlation(9)" {
+		t.Error("unknown mode name wrong")
+	}
+}
+
+func TestGenerateValuesMoments(t *testing.T) {
+	rng := stats.NewRNG(1)
+	tests := []struct {
+		bias, sigma float64
+	}{
+		{-2, 0.5}, {-1, 1.0}, {-3.5, 0.2}, {0.5, 0.3},
+	}
+	for _, tt := range tests {
+		vals := GenerateValues(rng, 4.0, tt.bias, tt.sigma, 400, false)
+		wantMean := stats.Clamp(4.0+tt.bias, 0, 5)
+		if got := stats.Mean(vals); math.Abs(got-wantMean) > 0.12 {
+			t.Errorf("bias %v: mean = %v, want ≈%v", tt.bias, got, wantMean)
+		}
+		if got := stats.SampleStdDev(vals); math.Abs(got-tt.sigma) > 0.25 {
+			t.Errorf("bias %v: stddev = %v, want ≈%v", tt.bias, got, tt.sigma)
+		}
+		for _, v := range vals {
+			if v < 0 || v > 5 {
+				t.Fatalf("value %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestGenerateValuesQuantized(t *testing.T) {
+	rng := stats.NewRNG(2)
+	vals := GenerateValues(rng, 4.0, -2, 0.7, 100, true)
+	for _, v := range vals {
+		if math.Mod(v*2, 1) != 0 {
+			t.Fatalf("value %v not half-star quantized", v)
+		}
+	}
+}
+
+func TestGenerateValuesEmpty(t *testing.T) {
+	if got := GenerateValues(stats.NewRNG(1), 4, -2, 0.5, 0, false); got != nil {
+		t.Errorf("n=0 returned %v", got)
+	}
+}
+
+func TestMeasureBiasAndSpread(t *testing.T) {
+	unfair := []float64{1, 1, 1, 1}
+	fair := []float64{4, 4, 4, 4}
+	if got := MeasureBias(unfair, fair); got != -3 {
+		t.Errorf("MeasureBias = %v, want -3", got)
+	}
+	if got := MeasureSpread([]float64{1, 3}); math.Abs(got-math.Sqrt2) > 1e-9 {
+		t.Errorf("MeasureSpread = %v", got)
+	}
+}
+
+func TestGenerateTimesPatterns(t *testing.T) {
+	rng := stats.NewRNG(3)
+	for _, pattern := range []TimePattern{UniformJitter, PoissonArrivals, FrontLoaded} {
+		ts := GenerateTimes(rng, 30, 20, 50, pattern)
+		if len(ts) != 50 {
+			t.Fatalf("pattern %d: %d times", pattern, len(ts))
+		}
+		if !sort.Float64sAreSorted(ts) {
+			t.Errorf("pattern %d: not sorted", pattern)
+		}
+		for _, tm := range ts {
+			if tm < 30 || tm >= 50 {
+				t.Fatalf("pattern %d: time %v outside [30,50)", pattern, tm)
+			}
+		}
+	}
+}
+
+func TestGenerateTimesFrontLoadedSkew(t *testing.T) {
+	rng := stats.NewRNG(4)
+	ts := GenerateTimes(rng, 0, 10, 500, FrontLoaded)
+	firstHalf := 0
+	for _, tm := range ts {
+		if tm < 5 {
+			firstHalf++
+		}
+	}
+	if firstHalf < 300 {
+		t.Errorf("front-loaded put only %d/500 in the first half", firstHalf)
+	}
+}
+
+func TestGenerateTimesEdgeCases(t *testing.T) {
+	rng := stats.NewRNG(5)
+	if got := GenerateTimes(rng, 0, 10, 0, UniformJitter); got != nil {
+		t.Errorf("n=0 returned %v", got)
+	}
+	if got := GenerateTimes(rng, 0, 0, 5, UniformJitter); got != nil {
+		t.Errorf("duration=0 returned %v", got)
+	}
+}
+
+func fairSeriesFixture() dataset.Series {
+	s := dataset.Series{}
+	for d := 0; d < 100; d++ {
+		v := 4.0
+		if d%7 == 0 {
+			v = 3.0 // occasional dips to give Procedure 3 contrast
+		}
+		s = append(s, dataset.Rating{Day: float64(d), Value: v, Rater: "h"})
+	}
+	return s
+}
+
+func TestMapValuesToTimesIndependentKeepsOrder(t *testing.T) {
+	rng := stats.NewRNG(6)
+	values := []float64{1, 2, 3}
+	times := []float64{10, 20, 30}
+	pairs := MapValuesToTimes(rng, values, times, Independent, nil)
+	for i := range pairs {
+		if pairs[i].Value != values[i] || pairs[i].Day != times[i] {
+			t.Errorf("pair %d = %+v", i, pairs[i])
+		}
+	}
+}
+
+func TestMapValuesToTimesShuffledIsPermutation(t *testing.T) {
+	rng := stats.NewRNG(7)
+	values := []float64{1, 2, 3, 4, 5}
+	times := []float64{10, 20, 30, 40, 50}
+	pairs := MapValuesToTimes(rng, values, times, Shuffled, nil)
+	got := make([]float64, len(pairs))
+	for i, p := range pairs {
+		got[i] = p.Value
+	}
+	sort.Float64s(got)
+	for i, v := range got {
+		if v != values[i] {
+			t.Fatalf("shuffled values are not a permutation: %v", got)
+		}
+	}
+}
+
+func TestMapValuesToTimesHeuristicAntiCorrelates(t *testing.T) {
+	rng := stats.NewRNG(8)
+	fair := fairSeriesFixture()
+	// Two-point value set: the low value must be matched against high fair
+	// values and vice versa.
+	values := []float64{0.5, 4.0}
+	times := []float64{7.5, 8.5} // fair value before 7.5 is 3.0 (day-7 dip), before 8.5 is 4.0
+	pairs := MapValuesToTimes(rng, values, times, HeuristicAnti, fair)
+	// At t=7.5 fair NearV = 3.0: farthest of {0.5, 4.0} is 0.5 (dist 2.5)
+	// vs 4.0 (dist 1.0) → picks 0.5. At t=8.5 the remaining 4.0.
+	if pairs[0].Value != 0.5 || pairs[1].Value != 4.0 {
+		t.Errorf("heuristic mapping = %+v", pairs)
+	}
+}
+
+func TestMapValuesToTimesPermutationProperty(t *testing.T) {
+	f := func(raw []uint8, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		times := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v%11) / 2
+			times[i] = float64(i) + 0.5
+		}
+		fair := fairSeriesFixture()
+		for _, mode := range []CorrelationMode{Independent, Shuffled, HeuristicAnti} {
+			pairs := MapValuesToTimes(stats.NewRNG(seed), values, times, mode, fair)
+			if len(pairs) != len(values) {
+				return false
+			}
+			got := make([]float64, len(pairs))
+			for i, p := range pairs {
+				got[i] = p.Value
+			}
+			sort.Float64s(got)
+			want := append([]float64(nil), values...)
+			sort.Float64s(want)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFairValueBefore(t *testing.T) {
+	fair := dataset.Series{{Day: 10, Value: 4}, {Day: 20, Value: 2}}
+	if got := fairValueBefore(fair, 15); got != 4 {
+		t.Errorf("before 15 = %v, want 4", got)
+	}
+	if got := fairValueBefore(fair, 25); got != 2 {
+		t.Errorf("before 25 = %v, want 2", got)
+	}
+	if got := fairValueBefore(fair, 5); got != 4 {
+		t.Errorf("before first = %v, want first value", got)
+	}
+	if got := fairValueBefore(nil, 5); got != 2.5 {
+		t.Errorf("empty fair = %v, want midpoint", got)
+	}
+}
+
+// Property: generated values stay in the rating range and (when quantized)
+// on the half-star grid, for arbitrary bias/σ requests.
+func TestGenerateValuesBoundsProperty(t *testing.T) {
+	f := func(biasRaw, sigmaRaw uint8, seed uint64) bool {
+		bias := -4 + float64(biasRaw%50)/10 // −4 … 0.9
+		sigma := float64(sigmaRaw%20) / 10  // 0 … 1.9
+		vals := GenerateValues(stats.NewRNG(seed), 4.0, bias, sigma, 30, true)
+		for _, v := range vals {
+			if v < dataset.MinValue || v > dataset.MaxValue {
+				return false
+			}
+			if math.Mod(v*2, 1) != 0 {
+				return false
+			}
+		}
+		return len(vals) == 30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generated times are sorted and inside the attack window for
+// every pattern.
+func TestGenerateTimesWindowProperty(t *testing.T) {
+	f := func(startRaw, durRaw, nRaw uint8, seed uint64) bool {
+		start := float64(startRaw % 100)
+		dur := 1 + float64(durRaw%60)
+		n := 1 + int(nRaw%60)
+		for _, pattern := range []TimePattern{UniformJitter, PoissonArrivals, FrontLoaded} {
+			ts := GenerateTimes(stats.NewRNG(seed), start, dur, n, pattern)
+			if len(ts) != n {
+				return false
+			}
+			prev := math.Inf(-1)
+			for _, tm := range ts {
+				if tm < start || tm >= start+dur || tm < prev {
+					return false
+				}
+				prev = tm
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// A minimal fair history: 60 days of one rating per day at 4 stars.
+func exampleFair() dataset.Series {
+	s := make(dataset.Series, 60)
+	for i := range s {
+		s[i] = dataset.Rating{Day: float64(i), Value: 4, Rater: fmt.Sprintf("h%02d", i)}
+	}
+	return s
+}
+
+func ExampleGenerator_GenerateProduct() {
+	gen := core.NewGenerator(1, core.DefaultRaters(50))
+	unfair, err := gen.GenerateProduct(core.Profile{
+		Bias:         -2.5, // drive the mean from 4 toward 1.5
+		StdDev:       0.5,
+		Count:        20,
+		StartDay:     20,
+		DurationDays: 10,
+		Correlation:  core.Independent,
+		Quantize:     true,
+	}, exampleFair())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	first, last := unfair.Span()
+	fmt.Printf("%d unfair ratings between day %.0f and day %.0f\n", len(unfair), first, last)
+	fmt.Printf("realized bias: %.1f\n", core.MeasureBias(unfair.Values(), exampleFair().Values()))
+	// Output:
+	// 20 unfair ratings between day 20 and day 30
+	// realized bias: -2.4
+}
+
+func ExampleSearchOptimalRegion() {
+	// Search a synthetic MP landscape whose optimum is at (−2, σ 1).
+	eval := func(bias, sigma float64, trial int) float64 {
+		db, ds := bias+2, sigma-1
+		return 1 / (1 + db*db + ds*ds)
+	}
+	cfg := core.DefaultSearchConfig()
+	res, err := core.SearchOptimalRegion(cfg, eval)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("optimum near bias %.1f, σ %.1f\n", res.BestBias, res.BestSigma)
+	// Output:
+	// optimum near bias -2.0, σ 1.0
+}
+
+func ExampleMapValuesToTimes() {
+	fair := exampleFair()
+	// Procedure 3 pairs each attack time with the remaining value farthest
+	// from the preceding fair rating (all 4s here), so low values go first.
+	pairs := core.MapValuesToTimes(nil, []float64{3, 1, 2}, []float64{10, 11, 12}, core.HeuristicAnti, fair)
+	for _, p := range pairs {
+		fmt.Printf("day %.0f → %.0f stars\n", p.Day, p.Value)
+	}
+	// Output:
+	// day 10 → 1 stars
+	// day 11 → 2 stars
+	// day 12 → 3 stars
+}

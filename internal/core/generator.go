@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Attack is one complete submission: unfair rating series per target
+// product, ready to inject into a dataset.
+type Attack struct {
+	// Ratings maps product ID to the unfair ratings inserted against it.
+	Ratings map[string]dataset.Series
+}
+
+// TotalRatings returns the number of unfair ratings across all products.
+func (a Attack) TotalRatings() int {
+	n := 0
+	for _, s := range a.Ratings {
+		n += len(s)
+	}
+	return n
+}
+
+// Apply injects the attack into a clone of the dataset and returns it.
+func (a Attack) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	out := d.Clone()
+	for id, s := range a.Ratings {
+		if err := out.InjectUnfair(id, s); err != nil {
+			return nil, fmt.Errorf("apply attack: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Generator assembles unfair-rating sequences from attack profiles — the
+// attack generator of Figure 8. It owns a deterministic PRNG and the pool
+// of biased rater identities (the challenge gives participants 50).
+type Generator struct {
+	rng    *rand.Rand
+	raters []string
+	// TimePattern selects the time-set generator's arrival pattern
+	// (UniformJitter by default).
+	TimePattern TimePattern
+}
+
+// NewGenerator returns a generator drawing randomness from seed and issuing
+// ratings from the given biased-rater pool.
+func NewGenerator(seed uint64, raters []string) *Generator {
+	pool := make([]string, len(raters))
+	copy(pool, raters)
+	return &Generator{
+		rng:         stats.NewRNG(seed),
+		raters:      pool,
+		TimePattern: UniformJitter,
+	}
+}
+
+// DefaultRaters returns n biased rater IDs ("biased00"…), the challenge's
+// attacker-controlled identities.
+func DefaultRaters(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("biased%02d", i)
+	}
+	return out
+}
+
+// GenerateProduct builds the unfair rating series for one product: values
+// from the value-set generator, times from the time-set generator, paired
+// by the value–time mapper, and signed by distinct biased raters (each
+// rater rates a product at most once).
+func (g *Generator) GenerateProduct(p Profile, fair dataset.Series) (dataset.Series, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Count > len(g.raters) {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrNotEnoughRaters, p.Count, len(g.raters))
+	}
+	fairMean := fair.Mean()
+	values := GenerateValues(g.rng, fairMean, p.Bias, p.StdDev, p.Count, p.Quantize)
+	times := GenerateTimes(g.rng, p.StartDay, p.DurationDays, p.Count, g.TimePattern)
+	pairs := MapValuesToTimes(g.rng, values, times, p.Correlation, fair)
+
+	// Assign raters in shuffled order so rater identity carries no signal.
+	order := g.rng.Perm(len(g.raters))
+	out := make(dataset.Series, len(pairs))
+	for i, vt := range pairs {
+		out[i] = dataset.Rating{
+			Day:    vt.Day,
+			Value:  vt.Value,
+			Rater:  g.raters[order[i]],
+			Unfair: true,
+		}
+	}
+	out.Sort()
+	return out, nil
+}
+
+// Generate builds a full multi-product attack from per-product profiles.
+// fairByProduct supplies each target's fair rating series (used for the
+// fair mean and for Procedure 3 correlation).
+func (g *Generator) Generate(profiles map[string]Profile, fairByProduct map[string]dataset.Series) (Attack, error) {
+	atk := Attack{Ratings: make(map[string]dataset.Series, len(profiles))}
+	// Iterate in sorted product order: map order is randomized and would
+	// desynchronize the generator's PRNG stream between runs.
+	ids := make([]string, 0, len(profiles))
+	for id := range profiles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fair, ok := fairByProduct[id]
+		if !ok {
+			return Attack{}, fmt.Errorf("%w: no fair series for product %q", ErrBadProfile, id)
+		}
+		s, err := g.GenerateProduct(profiles[id], fair)
+		if err != nil {
+			return Attack{}, fmt.Errorf("product %q: %w", id, err)
+		}
+		atk.Ratings[id] = s
+	}
+	return atk, nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Bias: -2.5, StdDev: 0.6, Count: 50, StartDay: 40,
+		DurationDays: 25, Correlation: Independent, Quantize: true,
+	}
+}
+
+func TestGeneratorGenerateProduct(t *testing.T) {
+	g := NewGenerator(1, DefaultRaters(50))
+	fair := fairSeriesFixture()
+	s, err := g.GenerateProduct(testProfile(), fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 50 {
+		t.Fatalf("got %d ratings", len(s))
+	}
+	seen := make(map[string]bool)
+	for _, r := range s {
+		if !r.Unfair {
+			t.Fatal("unfair rating missing ground-truth tag")
+		}
+		if r.Day < 40 || r.Day >= 65 {
+			t.Fatalf("rating day %v outside attack window", r.Day)
+		}
+		if r.Value < 0 || r.Value > 5 {
+			t.Fatalf("rating value %v out of range", r.Value)
+		}
+		if seen[r.Rater] {
+			t.Fatalf("rater %s used twice on one product", r.Rater)
+		}
+		seen[r.Rater] = true
+	}
+	// Realized bias should track the profile.
+	bias := MeasureBias(s.Values(), fair.Values())
+	if math.Abs(bias-(-2.5)) > 0.4 {
+		t.Errorf("realized bias = %v, want ≈ -2.5", bias)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	fair := fairSeriesFixture()
+	s1, err := NewGenerator(9, DefaultRaters(50)).GenerateProduct(testProfile(), fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewGenerator(9, DefaultRaters(50)).GenerateProduct(testProfile(), fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatal("same seed different lengths")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestGeneratorRaterLimit(t *testing.T) {
+	g := NewGenerator(1, DefaultRaters(10))
+	p := testProfile() // Count = 50 > 10 raters
+	if _, err := g.GenerateProduct(p, fairSeriesFixture()); !errors.Is(err, ErrNotEnoughRaters) {
+		t.Errorf("error = %v, want ErrNotEnoughRaters", err)
+	}
+}
+
+func TestGeneratorInvalidProfile(t *testing.T) {
+	g := NewGenerator(1, DefaultRaters(50))
+	p := testProfile()
+	p.Count = 0
+	if _, err := g.GenerateProduct(p, fairSeriesFixture()); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("error = %v, want ErrBadProfile", err)
+	}
+}
+
+func TestGenerateMultiProduct(t *testing.T) {
+	g := NewGenerator(2, DefaultRaters(50))
+	fair := map[string]dataset.Series{
+		"tv1": fairSeriesFixture(),
+		"tv2": fairSeriesFixture(),
+	}
+	profiles := map[string]Profile{
+		"tv1": testProfile(),
+		"tv2": func() Profile { p := testProfile(); p.Bias = 0.8; return p }(),
+	}
+	atk, err := g.Generate(profiles, fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atk.TotalRatings() != 100 {
+		t.Errorf("TotalRatings = %d, want 100", atk.TotalRatings())
+	}
+	if len(atk.Ratings["tv1"]) != 50 || len(atk.Ratings["tv2"]) != 50 {
+		t.Error("per-product counts wrong")
+	}
+}
+
+func TestGenerateMissingFairSeries(t *testing.T) {
+	g := NewGenerator(2, DefaultRaters(50))
+	_, err := g.Generate(map[string]Profile{"tvX": testProfile()}, nil)
+	if !errors.Is(err, ErrBadProfile) {
+		t.Errorf("error = %v, want ErrBadProfile", err)
+	}
+}
+
+func TestAttackApply(t *testing.T) {
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 2
+	cfg.HorizonDays = 100
+	d, err := dataset.GenerateFair(stats.NewRNG(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := d.Product("tv1")
+	g := NewGenerator(5, DefaultRaters(50))
+	s, err := g.GenerateProduct(testProfile(), prod.Ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := Attack{Ratings: map[string]dataset.Series{"tv1": s}}
+	before := len(prod.Ratings)
+	out, err := atk.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := out.Product("tv1")
+	if len(after.Ratings) != before+50 {
+		t.Errorf("attacked product has %d ratings, want %d", len(after.Ratings), before+50)
+	}
+	// Original untouched.
+	if len(prod.Ratings) != before {
+		t.Error("Apply mutated the original dataset")
+	}
+	// Unknown product errors.
+	bad := Attack{Ratings: map[string]dataset.Series{"nope": s}}
+	if _, err := bad.Apply(d); err == nil {
+		t.Error("Apply with unknown product: want error")
+	}
+}
+
+func TestDefaultRaters(t *testing.T) {
+	rs := DefaultRaters(3)
+	if len(rs) != 3 || rs[0] != "biased00" || rs[2] != "biased02" {
+		t.Errorf("DefaultRaters = %v", rs)
+	}
+}

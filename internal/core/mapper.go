@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// MapValuesToTimes implements the value–time mapper of Figure 8: it pairs
+// the generated value set with the generated time set according to the
+// correlation mode. fair is the product's fair rating series, consulted
+// only by the HeuristicAnti mode (Procedure 3). The returned pairs are
+// sorted by time.
+func MapValuesToTimes(rng *rand.Rand, values, times []float64, mode CorrelationMode, fair dataset.Series) []ValueTime {
+	n := len(values)
+	if len(times) < n {
+		n = len(times)
+	}
+	vals := append([]float64(nil), values[:n]...)
+	ts := append([]float64(nil), times[:n]...)
+	sort.Float64s(ts)
+	switch mode {
+	case Shuffled:
+		rng.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		return zip(ts, vals)
+	case HeuristicAnti:
+		return heuristicAnti(ts, vals, fair)
+	default: // Independent
+		return zip(ts, vals)
+	}
+}
+
+// ValueTime is one scheduled unfair rating.
+type ValueTime struct {
+	Day   float64
+	Value float64
+}
+
+func zip(ts, vals []float64) []ValueTime {
+	out := make([]ValueTime, len(ts))
+	for i := range ts {
+		out[i] = ValueTime{Day: ts[i], Value: vals[i]}
+	}
+	return out
+}
+
+// heuristicAnti implements Procedure 3: repeatedly take the earliest
+// remaining attack time, find the fair rating value given just before that
+// time, and assign it the remaining unfair value farthest from that fair
+// value. This anti-correlates unfair ratings with the fair signal, which
+// Section V-D shows increases manipulation power.
+func heuristicAnti(ts, vals []float64, fair dataset.Series) []ValueTime {
+	remaining := append([]float64(nil), vals...)
+	out := make([]ValueTime, 0, len(ts))
+	for _, t := range ts { // ts is sorted: earliest first
+		nearV := fairValueBefore(fair, t)
+		best := 0
+		bestDist := -1.0
+		for i, v := range remaining {
+			if d := abs(v - nearV); d > bestDist {
+				best, bestDist = i, d
+			}
+		}
+		out = append(out, ValueTime{Day: t, Value: remaining[best]})
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return out
+}
+
+// fairValueBefore returns the value of the last fair rating at or before
+// day t (falling back to the first fair rating, then to the scale midpoint
+// when the series is empty).
+func fairValueBefore(fair dataset.Series, t float64) float64 {
+	if len(fair) == 0 {
+		return (dataset.MinValue + dataset.MaxValue) / 2
+	}
+	idx := sort.Search(len(fair), func(i int) bool { return fair[i].Day > t })
+	if idx == 0 {
+		return fair[0].Value
+	}
+	return fair[idx-1].Value
+}

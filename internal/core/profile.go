@@ -1,0 +1,102 @@
+// Package core implements the paper's primary contribution: the attack
+// behavior models distilled from the rating challenge and the unfair-rating
+// generator of Figure 8. An attack against one product is described by four
+// features — bias, variance, arrival rate (count over duration) and
+// correlation with the fair ratings — and the generator assembles them with
+// a value-set generator, a time-set generator and a value–time mapper. The
+// parameter controller implements Procedure 2, the heuristic search for the
+// strongest (bias, variance) region against a given defense.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the attack generator.
+var (
+	// ErrBadProfile indicates an invalid attack profile.
+	ErrBadProfile = errors.New("core: bad attack profile")
+	// ErrNotEnoughRaters indicates more unfair ratings than biased raters
+	// (each rater rates a product at most once).
+	ErrNotEnoughRaters = errors.New("core: not enough biased raters")
+	// ErrBadSearch indicates an invalid Procedure 2 configuration.
+	ErrBadSearch = errors.New("core: bad search config")
+)
+
+// CorrelationMode selects the value–time mapper (Section V-D).
+type CorrelationMode int
+
+// Correlation modes. Independent preserves the generated order (the
+// current-attacker behavior the paper observed: no correlation), Shuffled
+// randomly permutes values over times, and HeuristicAnti applies
+// Procedure 3, greedily anti-correlating each unfair rating with the fair
+// rating immediately preceding it — the mode the paper shows strengthens
+// attacks.
+const (
+	Independent CorrelationMode = iota + 1
+	Shuffled
+	HeuristicAnti
+)
+
+// String returns the mode name.
+func (m CorrelationMode) String() string {
+	switch m {
+	case Independent:
+		return "independent"
+	case Shuffled:
+		return "shuffled"
+	case HeuristicAnti:
+		return "heuristic-anti"
+	default:
+		return fmt.Sprintf("correlation(%d)", int(m))
+	}
+}
+
+// Profile describes a collaborative unfair-rating attack on one product.
+type Profile struct {
+	// Bias is the offset of the unfair-rating mean from the fair-rating
+	// mean (negative = downgrade, positive = boost).
+	Bias float64
+	// StdDev is the spread of the unfair rating values.
+	StdDev float64
+	// Count is the number of unfair ratings to insert.
+	Count int
+	// StartDay is when the attack begins.
+	StartDay float64
+	// DurationDays is the attack duration; Count/DurationDays is the
+	// unfair-rating arrival rate the paper's time-domain analysis studies.
+	DurationDays float64
+	// Correlation selects the value–time mapper.
+	Correlation CorrelationMode
+	// Quantize snaps values to the 0.5-star grid when true (human
+	// attackers must submit legal widget values).
+	Quantize bool
+}
+
+// Validate reports the first problem with the profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Count <= 0:
+		return fmt.Errorf("%w: count %d", ErrBadProfile, p.Count)
+	case p.StdDev < 0:
+		return fmt.Errorf("%w: stddev %v", ErrBadProfile, p.StdDev)
+	case p.DurationDays <= 0:
+		return fmt.Errorf("%w: duration %v", ErrBadProfile, p.DurationDays)
+	case p.StartDay < 0:
+		return fmt.Errorf("%w: start day %v", ErrBadProfile, p.StartDay)
+	case p.Correlation < Independent || p.Correlation > HeuristicAnti:
+		return fmt.Errorf("%w: correlation mode %d", ErrBadProfile, p.Correlation)
+	}
+	return nil
+}
+
+// ArrivalInterval returns the average unfair-rating interval in days
+// (attack duration / number of unfair ratings), the time-domain feature of
+// Section V-C.
+func (p Profile) ArrivalInterval() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.DurationDays / float64(p.Count)
+}

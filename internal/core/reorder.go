@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Reorder returns a copy of the attack in which each product's unfair
+// rating *values* are re-paired with the same rating *times* according to
+// the correlation mode — the Section V-D experiment that takes real
+// submissions and changes only the order in which the values are given.
+// Rater identities stay attached to the time slots.
+func (a Attack) Reorder(rng *rand.Rand, mode CorrelationMode, fairByProduct map[string]dataset.Series) Attack {
+	out := Attack{Ratings: make(map[string]dataset.Series, len(a.Ratings))}
+	ids := make([]string, 0, len(a.Ratings))
+	for id := range a.Ratings {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic PRNG consumption order
+	for _, id := range ids {
+		s := a.Ratings[id]
+		values := s.Values()
+		times := s.Days()
+		pairs := MapValuesToTimes(rng, values, times, mode, fairByProduct[id])
+		ns := make(dataset.Series, len(s))
+		for i := range s {
+			ns[i] = s[i] // keeps Day, Rater, Unfair
+			ns[i].Value = pairs[i].Value
+		}
+		out.Ratings[id] = ns
+	}
+	return out
+}

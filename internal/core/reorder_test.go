@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestReorderPreservesTimesRatersAndValueMultiset(t *testing.T) {
+	fair := fairSeriesFixture()
+	g := NewGenerator(11, DefaultRaters(50))
+	p := testProfile()
+	p.StdDev = 1.0
+	s, err := g.GenerateProduct(p, fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := Attack{Ratings: map[string]dataset.Series{"tv1": s}}
+	fairMap := map[string]dataset.Series{"tv1": fair}
+
+	for _, mode := range []CorrelationMode{Independent, Shuffled, HeuristicAnti} {
+		re := atk.Reorder(stats.NewRNG(3), mode, fairMap)
+		rs := re.Ratings["tv1"]
+		if len(rs) != len(s) {
+			t.Fatalf("%v: length changed", mode)
+		}
+		gotVals := append([]float64(nil), rs.Values()...)
+		wantVals := append([]float64(nil), s.Values()...)
+		sort.Float64s(gotVals)
+		sort.Float64s(wantVals)
+		for i := range rs {
+			if rs[i].Day != s[i].Day {
+				t.Fatalf("%v: time changed at %d", mode, i)
+			}
+			if rs[i].Rater != s[i].Rater {
+				t.Fatalf("%v: rater changed at %d", mode, i)
+			}
+			if !rs[i].Unfair {
+				t.Fatalf("%v: unfair tag lost at %d", mode, i)
+			}
+			if gotVals[i] != wantVals[i] {
+				t.Fatalf("%v: value multiset changed", mode)
+			}
+		}
+	}
+}
+
+func TestReorderHeuristicChangesOrder(t *testing.T) {
+	fair := fairSeriesFixture()
+	g := NewGenerator(12, DefaultRaters(50))
+	p := testProfile()
+	p.StdDev = 1.2 // spread values so reordering matters
+	s, err := g.GenerateProduct(p, fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := Attack{Ratings: map[string]dataset.Series{"tv1": s}}
+	fairMap := map[string]dataset.Series{"tv1": fair}
+	re := atk.Reorder(stats.NewRNG(3), HeuristicAnti, fairMap)
+	same := true
+	for i := range s {
+		if re.Ratings["tv1"][i].Value != s[i].Value {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("heuristic reorder left the value order unchanged")
+	}
+	// Original must be untouched.
+	for i := range s {
+		if s[i] != atk.Ratings["tv1"][i] {
+			t.Fatal("Reorder mutated the original attack")
+		}
+	}
+}

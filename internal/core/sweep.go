@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// ParameterRanges is the user input of Figure 8's parameter controller:
+// ranges for every attack feature rather than point values.
+type ParameterRanges struct {
+	// Region bounds bias (horizontal) and standard deviation (vertical).
+	Region Region
+	// CountMin/Max bound the number of unfair ratings.
+	CountMin, CountMax int
+	// DurationMin/Max bound the attack duration in days (with count, this
+	// spans the arrival-rate axis of Section V-C).
+	DurationMin, DurationMax float64
+	// StartMin/Max bound the attack start day.
+	StartMin, StartMax float64
+	// Correlations lists the value–time mappings to explore (empty =
+	// Independent only).
+	Correlations []CorrelationMode
+}
+
+// Validate reports the first problem with the ranges.
+func (p ParameterRanges) Validate() error {
+	switch {
+	case !p.Region.Valid():
+		return fmt.Errorf("%w: region %+v", ErrBadSearch, p.Region)
+	case p.CountMin <= 0 || p.CountMax < p.CountMin:
+		return fmt.Errorf("%w: counts [%d,%d]", ErrBadSearch, p.CountMin, p.CountMax)
+	case p.DurationMin <= 0 || p.DurationMax < p.DurationMin:
+		return fmt.Errorf("%w: durations [%v,%v]", ErrBadSearch, p.DurationMin, p.DurationMax)
+	case p.StartMin < 0 || p.StartMax < p.StartMin:
+		return fmt.Errorf("%w: starts [%v,%v]", ErrBadSearch, p.StartMin, p.StartMax)
+	}
+	return nil
+}
+
+func (p ParameterRanges) correlations() []CorrelationMode {
+	if len(p.Correlations) == 0 {
+		return []CorrelationMode{Independent}
+	}
+	return p.Correlations
+}
+
+// Controller is the Figure 8 parameter controller: it draws attacks from
+// the user's parameter ranges, scores them through the attack-effect
+// feedback loop, and refines the value-set parameters with Procedure 2.
+type Controller struct {
+	// Raters is the biased-rater pool.
+	Raters []string
+	// Seed drives all random draws.
+	Seed uint64
+	// Score closes the feedback loop of Figure 8: it applies the attack
+	// to the rating system under evaluation and returns the attack effect
+	// (manipulation power).
+	Score func(Attack) float64
+}
+
+// BestResult is the controller's output.
+type BestResult struct {
+	Attack  Attack
+	Profile Profile
+	MP      float64
+	// Evaluations is the number of attacks generated and scored.
+	Evaluations int
+}
+
+// BestAttack explores the ranges with budget random draws, then runs a
+// Procedure 2 refinement of (bias, σ) around the best draw's timing
+// parameters, and returns the strongest attack found against the target
+// product.
+func (c *Controller) BestAttack(target string, fair map[string]dataset.Series, ranges ParameterRanges, budget int) (BestResult, error) {
+	if err := ranges.Validate(); err != nil {
+		return BestResult{}, err
+	}
+	if c.Score == nil {
+		return BestResult{}, fmt.Errorf("%w: controller without Score", ErrBadSearch)
+	}
+	if budget <= 0 {
+		budget = 20
+	}
+	rng := stats.NewRNG(c.Seed)
+	best := BestResult{MP: -1}
+
+	try := func(p Profile) (float64, error) {
+		gen := NewGenerator(rng.Uint64(), c.Raters)
+		atk, err := gen.Generate(map[string]Profile{target: p}, fair)
+		if err != nil {
+			return 0, err
+		}
+		evals := best.Evaluations + 1
+		v := c.Score(atk)
+		if v > best.MP {
+			best = BestResult{Attack: atk, Profile: p, MP: v}
+		}
+		best.Evaluations = evals
+		return v, nil
+	}
+
+	// Phase 1: random exploration of the full ranges.
+	for i := 0; i < budget; i++ {
+		if _, err := try(c.drawProfile(rng, ranges)); err != nil {
+			return BestResult{}, err
+		}
+	}
+
+	// Phase 2: Procedure 2 refinement of (bias, σ) with the best timing.
+	timing := best.Profile
+	search := SearchConfig{
+		Initial:      ranges.Region,
+		Trials:       3,
+		Overlap:      0.1,
+		MinBiasSpan:  ranges.Region.BiasSpan() / 8,
+		MinSigmaSpan: ranges.Region.SigmaSpan() / 8,
+		MaxRounds:    4,
+	}
+	_, err := SearchOptimalRegion(search, func(bias, sigma float64, trial int) float64 {
+		p := timing
+		p.Bias = bias
+		p.StdDev = sigma
+		v, err := try(p)
+		if err != nil {
+			return 0
+		}
+		return v
+	})
+	if err != nil {
+		return BestResult{}, err
+	}
+	return best, nil
+}
+
+func (c *Controller) drawProfile(rng *rand.Rand, ranges ParameterRanges) Profile {
+	modes := ranges.correlations()
+	bias := ranges.Region.BiasLo + rng.Float64()*ranges.Region.BiasSpan()
+	sigma := ranges.Region.SigmaLo + rng.Float64()*ranges.Region.SigmaSpan()
+	count := ranges.CountMin + rng.IntN(ranges.CountMax-ranges.CountMin+1)
+	if count > len(c.Raters) {
+		count = len(c.Raters)
+	}
+	duration := ranges.DurationMin + rng.Float64()*(ranges.DurationMax-ranges.DurationMin)
+	start := ranges.StartMin + rng.Float64()*(ranges.StartMax-ranges.StartMin)
+	return Profile{
+		Bias:         bias,
+		StdDev:       sigma,
+		Count:        count,
+		StartDay:     start,
+		DurationDays: duration,
+		Correlation:  modes[rng.IntN(len(modes))],
+		Quantize:     true,
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func testRanges() ParameterRanges {
+	return ParameterRanges{
+		Region:      Region{BiasLo: -4, BiasHi: 0, SigmaLo: 0, SigmaHi: 1.5},
+		CountMin:    10,
+		CountMax:    50,
+		DurationMin: 10,
+		DurationMax: 60,
+		StartMin:    0,
+		StartMax:    30,
+	}
+}
+
+func TestParameterRangesValidate(t *testing.T) {
+	if err := testRanges().Validate(); err != nil {
+		t.Errorf("valid ranges rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*ParameterRanges)
+	}{
+		{"bad region", func(p *ParameterRanges) { p.Region = Region{} }},
+		{"zero count", func(p *ParameterRanges) { p.CountMin = 0 }},
+		{"inverted counts", func(p *ParameterRanges) { p.CountMax = 5 }},
+		{"zero duration", func(p *ParameterRanges) { p.DurationMin = 0 }},
+		{"inverted durations", func(p *ParameterRanges) { p.DurationMax = 5 }},
+		{"negative start", func(p *ParameterRanges) { p.StartMin = -1 }},
+		{"inverted starts", func(p *ParameterRanges) { p.StartMax = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := testRanges()
+			tt.mutate(&r)
+			if err := r.Validate(); !errors.Is(err, ErrBadSearch) {
+				t.Errorf("Validate = %v", err)
+			}
+		})
+	}
+}
+
+func TestControllerFindsPlantedOptimum(t *testing.T) {
+	fair := map[string]dataset.Series{"tv1": fairSeriesFixture()}
+	// Synthetic attack effect: strongest when bias ≈ −2 and σ ≈ 1 —
+	// verifies the learn-from-feedback loop homes in without a real
+	// defense in the loop.
+	score := func(a Attack) float64 {
+		s := a.Ratings["tv1"]
+		bias := MeasureBias(s.Values(), fair["tv1"].Values())
+		sigma := MeasureSpread(s.Values())
+		db, ds := bias+2, sigma-1
+		return 2/(1+db*db+ds*ds) + 0.001*float64(len(s))
+	}
+	c := &Controller{Raters: DefaultRaters(50), Seed: 5, Score: score}
+	res, err := c.BestAttack("tv1", fair, testRanges(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations <= 30 {
+		t.Errorf("refinement phase did not run (evals %d)", res.Evaluations)
+	}
+	if math.Abs(res.Profile.Bias-(-2)) > 0.8 {
+		t.Errorf("best bias = %v, want ≈ -2", res.Profile.Bias)
+	}
+	if math.Abs(res.Profile.StdDev-1) > 0.6 {
+		t.Errorf("best σ = %v, want ≈ 1", res.Profile.StdDev)
+	}
+	if res.MP < 1.5 {
+		t.Errorf("best MP = %v, want near the landscape peak 2", res.MP)
+	}
+	if len(res.Attack.Ratings["tv1"]) != res.Profile.Count {
+		t.Error("returned attack does not match returned profile")
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	fair := map[string]dataset.Series{"tv1": fairSeriesFixture()}
+	c := &Controller{Raters: DefaultRaters(50), Seed: 5}
+	if _, err := c.BestAttack("tv1", fair, testRanges(), 5); !errors.Is(err, ErrBadSearch) {
+		t.Errorf("nil Score accepted: %v", err)
+	}
+	c.Score = func(Attack) float64 { return 0 }
+	bad := testRanges()
+	bad.CountMin = -1
+	if _, err := c.BestAttack("tv1", fair, bad, 5); !errors.Is(err, ErrBadSearch) {
+		t.Errorf("bad ranges accepted: %v", err)
+	}
+	// Unknown product: generation fails.
+	if _, err := c.BestAttack("tvX", fair, testRanges(), 5); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestControllerRespectsCorrelationModes(t *testing.T) {
+	fair := map[string]dataset.Series{"tv1": fairSeriesFixture()}
+	seen := make(map[CorrelationMode]bool)
+	c := &Controller{
+		Raters: DefaultRaters(50),
+		Seed:   6,
+		Score:  func(a Attack) float64 { return 0.1 },
+	}
+	ranges := testRanges()
+	ranges.Correlations = []CorrelationMode{Shuffled, HeuristicAnti}
+	// Capture modes via the score hook by regenerating... simpler: run and
+	// check the winning profile uses an allowed mode, plus defaults work.
+	res, err := c.BestAttack("tv1", fair, ranges, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Correlation != Shuffled && res.Profile.Correlation != HeuristicAnti {
+		t.Errorf("winner used mode %v outside the allowed set", res.Profile.Correlation)
+	}
+	seen[res.Profile.Correlation] = true
+
+	// Default (no modes listed) must yield Independent.
+	res, err = c.BestAttack("tv1", fair, testRanges(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.Correlation != Independent {
+		t.Errorf("default mode = %v, want Independent", res.Profile.Correlation)
+	}
+}
+
+func TestControllerDefaultBudget(t *testing.T) {
+	fair := map[string]dataset.Series{"tv1": fairSeriesFixture()}
+	c := &Controller{
+		Raters: DefaultRaters(50),
+		Seed:   7,
+		Score:  func(a Attack) float64 { return float64(len(a.Ratings["tv1"])) },
+	}
+	res, err := c.BestAttack("tv1", fair, testRanges(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations < 20 {
+		t.Errorf("default budget evals = %d, want ≥ 20", res.Evaluations)
+	}
+}

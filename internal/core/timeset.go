@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// TimePattern selects how the time-set generator spreads unfair ratings
+// over the attack duration.
+type TimePattern int
+
+// Time patterns. UniformJitter spreads ratings evenly with per-rating
+// jitter (the dominant pattern in the challenge data), PoissonArrivals uses
+// exponential gaps with the profile's mean rate, and FrontLoaded
+// concentrates ratings toward the attack start (the "dump everything
+// early" archetype).
+const (
+	UniformJitter TimePattern = iota + 1
+	PoissonArrivals
+	FrontLoaded
+)
+
+// GenerateTimes produces n rating times in [start, start+duration) following
+// the chosen pattern (the time-set generator of Figure 8). Times are
+// returned sorted.
+func GenerateTimes(rng *rand.Rand, start, duration float64, n int, pattern TimePattern) []float64 {
+	if n <= 0 || duration <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	switch pattern {
+	case PoissonArrivals:
+		// n exponential gaps rescaled to fit the duration.
+		gaps := make([]float64, n)
+		var total float64
+		for i := range gaps {
+			gaps[i] = rng.ExpFloat64()
+			total += gaps[i]
+		}
+		if total == 0 {
+			total = 1
+		}
+		t := start
+		for i := range out {
+			t += gaps[i] / total * duration
+			out[i] = minFl(t, start+duration-1e-9)
+		}
+	case FrontLoaded:
+		for i := range out {
+			u := rng.Float64()
+			out[i] = start + u*u*duration // density ∝ 1/√x toward start
+		}
+	default: // UniformJitter
+		step := duration / float64(n)
+		for i := range out {
+			out[i] = start + (float64(i)+rng.Float64())*step
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func minFl(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

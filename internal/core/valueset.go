@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// GenerateValues produces n unfair rating values with mean fairMean+bias and
+// standard deviation sigma (the value-set generator of Figure 8). Values are
+// drawn from a Gaussian, clamped to the legal rating range, and optionally
+// quantized to half stars. Clamping and quantization shrink the realized
+// moments near the range edges; the generator compensates with a small
+// fixed-point adjustment of the sampling mean so the realized mean tracks
+// the request where the range allows it.
+func GenerateValues(rng *rand.Rand, fairMean, bias, sigma float64, n int, quantize bool) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	target := stats.Clamp(fairMean+bias, dataset.MinValue, dataset.MaxValue)
+	sampleMean := target
+	vals := make([]float64, n)
+	// Up to three compensation passes: draw, measure the clamping shift,
+	// and re-center the sampling mean.
+	for pass := 0; pass < 3; pass++ {
+		draw := stats.Fork(rng)
+		for i := range vals {
+			v := sampleMean + draw.NormFloat64()*sigma
+			v = stats.Clamp(v, dataset.MinValue, dataset.MaxValue)
+			if quantize {
+				v = dataset.QuantizeHalfStar(v)
+			}
+			vals[i] = v
+		}
+		got := stats.Mean(vals)
+		shift := target - got
+		if abs(shift) < 0.05 {
+			break
+		}
+		sampleMean = stats.Clamp(sampleMean+shift, dataset.MinValue-2*sigma, dataset.MaxValue+2*sigma)
+	}
+	return vals
+}
+
+// MeasureBias returns the paper's bias feature: mean(unfair) − mean(fair).
+func MeasureBias(unfair, fair []float64) float64 {
+	return stats.Mean(unfair) - stats.Mean(fair)
+}
+
+// MeasureSpread returns the standard deviation of the unfair values (the
+// vertical axis of the variance–bias plots).
+func MeasureSpread(unfair []float64) float64 {
+	return stats.SampleStdDev(unfair)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

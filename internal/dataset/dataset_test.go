@@ -1,0 +1,360 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func sampleSeries() Series {
+	return Series{
+		{Day: 3.5, Value: 4, Rater: "a"},
+		{Day: 1.0, Value: 5, Rater: "b"},
+		{Day: 2.2, Value: 3, Rater: "c", Unfair: true},
+		{Day: 9.9, Value: 1, Rater: "d"},
+	}
+}
+
+func TestSeriesSort(t *testing.T) {
+	s := sampleSeries()
+	s.Sort()
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Day < s[j].Day }) {
+		t.Errorf("series not sorted: %v", s.Days())
+	}
+}
+
+func TestSeriesSortStable(t *testing.T) {
+	s := Series{
+		{Day: 1, Value: 1, Rater: "first"},
+		{Day: 1, Value: 2, Rater: "second"},
+	}
+	s.Sort()
+	if s[0].Rater != "first" || s[1].Rater != "second" {
+		t.Error("same-day order not preserved")
+	}
+}
+
+func TestSeriesValuesDaysMean(t *testing.T) {
+	s := sampleSeries()
+	s.Sort()
+	if got := s.Mean(); !almost(got, 3.25) {
+		t.Errorf("Mean = %v, want 3.25", got)
+	}
+	if got := len(s.Values()); got != 4 {
+		t.Errorf("Values length = %d", got)
+	}
+	if got := s.Days(); got[0] != 1.0 {
+		t.Errorf("Days[0] = %v", got[0])
+	}
+	var empty Series
+	if empty.Mean() != 0 {
+		t.Error("empty Mean should be 0")
+	}
+}
+
+func TestSeriesBetween(t *testing.T) {
+	s := sampleSeries()
+	s.Sort()
+	mid := s.Between(2, 4)
+	if len(mid) != 2 {
+		t.Fatalf("Between(2,4) length = %d, want 2", len(mid))
+	}
+	if mid[0].Day != 2.2 || mid[1].Day != 3.5 {
+		t.Errorf("Between days = %v", mid.Days())
+	}
+	if got := s.Between(100, 200); len(got) != 0 {
+		t.Errorf("Between(empty range) = %v", got)
+	}
+	// Half-open: lo inclusive, hi exclusive.
+	if got := s.Between(1.0, 2.2); len(got) != 1 || got[0].Day != 1.0 {
+		t.Errorf("Between half-open = %v", got.Days())
+	}
+}
+
+func TestSeriesFairUnfair(t *testing.T) {
+	s := sampleSeries()
+	if got := len(s.Fair()); got != 3 {
+		t.Errorf("Fair length = %d, want 3", got)
+	}
+	if got := len(s.UnfairOnly()); got != 1 {
+		t.Errorf("UnfairOnly length = %d, want 1", got)
+	}
+}
+
+func TestSeriesMerge(t *testing.T) {
+	a := Series{{Day: 1, Value: 4}, {Day: 5, Value: 4}}
+	b := Series{{Day: 3, Value: 2}}
+	m := a.Merge(b)
+	if len(m) != 3 || m[1].Day != 3 {
+		t.Errorf("Merge = %v", m.Days())
+	}
+	// Inputs untouched.
+	if len(a) != 2 || len(b) != 1 {
+		t.Error("Merge mutated inputs")
+	}
+}
+
+func TestSeriesDailyCounts(t *testing.T) {
+	s := Series{{Day: 0.1}, {Day: 0.9}, {Day: 2.5}, {Day: -1}, {Day: 10}}
+	counts := s.DailyCounts(3)
+	want := []float64{2, 0, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("DailyCounts[%d] = %v, want %v", i, counts[i], want[i])
+		}
+	}
+	if got := len(s.DailyCounts(-2)); got != 0 {
+		t.Errorf("DailyCounts(neg horizon) length = %d", got)
+	}
+}
+
+func TestSeriesSpan(t *testing.T) {
+	s := sampleSeries()
+	s.Sort()
+	first, last := s.Span()
+	if first != 1.0 || last != 9.9 {
+		t.Errorf("Span = (%v, %v)", first, last)
+	}
+	var empty Series
+	if f, l := empty.Span(); f != 0 || l != 0 {
+		t.Error("empty Span should be (0,0)")
+	}
+}
+
+func TestDatasetProductLookup(t *testing.T) {
+	d := &Dataset{Products: []Product{{ID: "tv1"}, {ID: "tv2"}}}
+	p, err := d.Product("tv2")
+	if err != nil || p.ID != "tv2" {
+		t.Errorf("Product(tv2) = %v, %v", p, err)
+	}
+	if _, err := d.Product("nope"); !errors.Is(err, ErrUnknownProduct) {
+		t.Errorf("Product(nope) error = %v, want ErrUnknownProduct", err)
+	}
+	ids := d.ProductIDs()
+	if len(ids) != 2 || ids[0] != "tv1" {
+		t.Errorf("ProductIDs = %v", ids)
+	}
+}
+
+func TestDatasetCloneIsDeep(t *testing.T) {
+	d := &Dataset{HorizonDays: 10, Products: []Product{{ID: "tv1", Ratings: sampleSeries()}}}
+	c := d.Clone()
+	c.Products[0].Ratings[0].Value = -99
+	if d.Products[0].Ratings[0].Value == -99 {
+		t.Error("Clone shares rating storage")
+	}
+}
+
+func TestInjectUnfair(t *testing.T) {
+	d := &Dataset{Products: []Product{{ID: "tv1", Ratings: Series{{Day: 1, Value: 4}}}}}
+	unfair := Series{{Day: 0.5, Value: 0, Rater: "x"}}
+	if err := d.InjectUnfair("tv1", unfair); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := d.Product("tv1")
+	if len(p.Ratings) != 2 {
+		t.Fatalf("ratings length = %d", len(p.Ratings))
+	}
+	if !p.Ratings[0].Unfair {
+		t.Error("injected rating not tagged Unfair")
+	}
+	if unfair[0].Unfair {
+		t.Error("InjectUnfair mutated caller's slice")
+	}
+	if err := d.InjectUnfair("missing", unfair); !errors.Is(err, ErrUnknownProduct) {
+		t.Errorf("InjectUnfair(missing) = %v", err)
+	}
+}
+
+func TestQuantizeHalfStar(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{4.24, 4.0}, {4.26, 4.5}, {-1, 0}, {6, 5}, {2.75, 3.0}, {0.2, 0},
+	}
+	for _, tt := range tests {
+		if got := QuantizeHalfStar(tt.in); got != tt.want {
+			t.Errorf("QuantizeHalfStar(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestGenerateFairStatistics(t *testing.T) {
+	rng := stats.NewRNG(11)
+	cfg := DefaultFairConfig()
+	d, err := GenerateFair(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Products) != cfg.Products {
+		t.Fatalf("products = %d, want %d", len(d.Products), cfg.Products)
+	}
+	for _, p := range d.Products {
+		if len(p.Ratings) == 0 {
+			t.Fatalf("product %s has no ratings", p.ID)
+		}
+		m := p.Ratings.Mean()
+		if m < 3.2 || m > 4.6 {
+			t.Errorf("product %s mean = %v, want ≈4", p.ID, m)
+		}
+		perDay := float64(len(p.Ratings)) / cfg.HorizonDays
+		if perDay < cfg.ArrivalRate*0.6 || perDay > cfg.ArrivalRate*1.6 {
+			t.Errorf("product %s arrival = %v/day, want ≈%v", p.ID, perDay, cfg.ArrivalRate)
+		}
+		if !sort.SliceIsSorted(p.Ratings, func(i, j int) bool {
+			return p.Ratings[i].Day < p.Ratings[j].Day
+		}) {
+			t.Errorf("product %s not sorted", p.ID)
+		}
+		for _, r := range p.Ratings {
+			if r.Value < MinValue || r.Value > MaxValue {
+				t.Fatalf("value %v out of range", r.Value)
+			}
+			if r.Unfair {
+				t.Fatal("fair generator produced Unfair rating")
+			}
+			if math.Mod(r.Value*2, 1) != 0 {
+				t.Fatalf("value %v not half-star quantized", r.Value)
+			}
+		}
+	}
+}
+
+func TestGenerateFairDeterministic(t *testing.T) {
+	cfg := DefaultFairConfig()
+	d1, err := GenerateFair(stats.NewRNG(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := GenerateFair(stats.NewRNG(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Products[0].Ratings) != len(d2.Products[0].Ratings) {
+		t.Fatal("same seed produced different rating counts")
+	}
+	for i, r := range d1.Products[0].Ratings {
+		if r != d2.Products[0].Ratings[i] {
+			t.Fatalf("same seed diverged at rating %d", i)
+		}
+	}
+}
+
+func TestGenerateFairOneRatingPerRaterPerProduct(t *testing.T) {
+	cfg := DefaultFairConfig()
+	cfg.Products = 2
+	d, err := GenerateFair(stats.NewRNG(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Products {
+		seen := make(map[string]bool, len(p.Ratings))
+		for _, r := range p.Ratings {
+			if seen[r.Rater] {
+				t.Fatalf("rater %s rated product %s twice", r.Rater, p.ID)
+			}
+			seen[r.Rater] = true
+		}
+	}
+}
+
+func TestFairConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*FairConfig)
+	}{
+		{"zero products", func(c *FairConfig) { c.Products = 0 }},
+		{"negative horizon", func(c *FairConfig) { c.HorizonDays = -1 }},
+		{"negative arrival", func(c *FairConfig) { c.ArrivalRate = -0.1 }},
+		{"negative noise", func(c *FairConfig) { c.NoiseSigma = -1 }},
+		{"zero pool", func(c *FairConfig) { c.RaterPool = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultFairConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("Validate = %v, want ErrBadConfig", err)
+			}
+			if _, err := GenerateFair(stats.NewRNG(1), cfg); err == nil {
+				t.Error("GenerateFair accepted invalid config")
+			}
+		})
+	}
+	if err := DefaultFairConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+// Property: merging two sorted series yields a sorted series whose length is
+// the sum of the inputs.
+func TestMergeProperty(t *testing.T) {
+	f := func(d1, d2 []uint16) bool {
+		a := make(Series, len(d1))
+		for i, v := range d1 {
+			a[i] = Rating{Day: float64(v) / 100}
+		}
+		b := make(Series, len(d2))
+		for i, v := range d2 {
+			b[i] = Rating{Day: float64(v) / 100}
+		}
+		a.Sort()
+		b.Sort()
+		m := a.Merge(b)
+		if len(m) != len(a)+len(b) {
+			return false
+		}
+		return sort.SliceIsSorted(m, func(i, j int) bool { return m[i].Day < m[j].Day })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSeriesStats(t *testing.T) {
+	s := Series{{Value: 2}, {Value: 4}, {Value: 4}}
+	sum := s.Stats()
+	if sum.Count != 3 || !almost(sum.Mean, 10.0/3) {
+		t.Errorf("Stats = %+v", sum)
+	}
+}
+
+func TestGenerateFairJShape(t *testing.T) {
+	cfg := DefaultFairConfig()
+	cfg.Products = 1
+	cfg.JShare = 0.35
+	d, err := GenerateFair(stats.NewRNG(12), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Products[0].Ratings
+	var raves, rants int
+	for _, r := range s {
+		if r.Value >= 4.5 {
+			raves++
+		}
+		if r.Value <= 1 {
+			rants++
+		}
+	}
+	fracExtreme := float64(raves+rants) / float64(len(s))
+	if fracExtreme < 0.25 {
+		t.Errorf("J-shape extremes = %.2f of ratings, want ≳0.3", fracExtreme)
+	}
+	if rants == 0 {
+		t.Error("J-shape produced no rants")
+	}
+	// The spread must clearly exceed the Gaussian-only profile's.
+	if got := s.Stats().StdDev; got < 0.9 {
+		t.Errorf("J-shape stddev = %v, want > 0.9", got)
+	}
+	// Invalid share rejected.
+	cfg.JShare = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("JShare > 1 accepted")
+	}
+}

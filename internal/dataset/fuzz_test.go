@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV reader never panics and that everything it
+// accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("product,day,value,rater,unfair\ntv1,1.5,4,h1,false\n")
+	f.Add("tv1,0,0,x,true\n")
+	f.Add("")
+	f.Add("a,b,c\n")
+	f.Add("tv1,1e308,5,h,false\ntv1,-5,0,h,true\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Products) != len(d.Products) {
+			t.Fatalf("round trip changed product count")
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON reader never panics.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"horizonDays":10,"products":[{"id":"tv1","ratings":[{"day":1,"value":4,"rater":"h"}]}]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, p := range d.Products {
+			_ = p.Ratings.Mean()
+			_ = p.Ratings.DailyCounts(d.HorizonDays)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/stats"
+)
+
+// FairConfig parameterizes the synthetic fair-rating generator that stands
+// in for the paper's real flat-panel-TV data. Defaults (DefaultFairConfig)
+// reproduce the statistical features the paper reports: 9 similar products,
+// mean fair rating ≈ 4 on a 0–5 scale, Poisson daily arrivals, and mild
+// non-stationarity in both mean and arrival rate.
+type FairConfig struct {
+	// Products is the number of rated objects (paper: 9 TVs).
+	Products int
+	// HorizonDays is the length of the rating history in days.
+	HorizonDays float64
+	// ArrivalRate is the mean fair ratings per product per day.
+	ArrivalRate float64
+	// QualityMean is the cross-product mean true quality (paper: ≈ 4).
+	QualityMean float64
+	// QualityJitter is the half-range of the uniform per-product quality
+	// offset ("similar features" → small jitter).
+	QualityJitter float64
+	// NoiseSigma is the honest-rater noise standard deviation.
+	NoiseSigma float64
+	// DriftAmp is the amplitude of a slow sinusoidal quality-perception
+	// drift (natural mean non-stationarity that stresses false alarms).
+	DriftAmp float64
+	// DriftPeriodDays is the drift period.
+	DriftPeriodDays float64
+	// BurstProb is the per-day probability of an arrival burst (promo /
+	// review-site link), during which the arrival rate triples.
+	BurstProb float64
+	// HalfStars quantizes values to 0.5 steps when true.
+	HalfStars bool
+	// JShare, when positive, mixes in the J-shaped opinion profile real
+	// rating sites exhibit: this fraction of honest ratings is drawn from
+	// the extremes (a 5-star rave or a 1-star rant, 4:1) instead of the
+	// Gaussian around the product quality. 0 disables it.
+	JShare float64
+	// RaterPool is the number of distinct honest raters shared across
+	// products. Each rater rates a given product at most once.
+	RaterPool int
+}
+
+// DefaultFairConfig returns the challenge-like configuration used by the
+// experiments: 9 products over 150 days at ≈ 3.5 fair ratings/day.
+func DefaultFairConfig() FairConfig {
+	return FairConfig{
+		Products:        9,
+		HorizonDays:     150,
+		ArrivalRate:     3.5,
+		QualityMean:     4.0,
+		QualityJitter:   0.25,
+		NoiseSigma:      0.6,
+		DriftAmp:        0.15,
+		DriftPeriodDays: 60,
+		BurstProb:       0.03,
+		HalfStars:       true,
+		RaterPool:       1200,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c FairConfig) Validate() error {
+	switch {
+	case c.Products <= 0:
+		return fmt.Errorf("%w: products %d", ErrBadConfig, c.Products)
+	case c.HorizonDays <= 0:
+		return fmt.Errorf("%w: horizon %v", ErrBadConfig, c.HorizonDays)
+	case c.ArrivalRate < 0:
+		return fmt.Errorf("%w: arrival rate %v", ErrBadConfig, c.ArrivalRate)
+	case c.NoiseSigma < 0:
+		return fmt.Errorf("%w: noise sigma %v", ErrBadConfig, c.NoiseSigma)
+	case c.RaterPool <= 0:
+		return fmt.Errorf("%w: rater pool %d", ErrBadConfig, c.RaterPool)
+	case c.JShare < 0 || c.JShare > 1:
+		return fmt.Errorf("%w: J share %v", ErrBadConfig, c.JShare)
+	}
+	return nil
+}
+
+// GenerateFair synthesizes a fair-ratings-only dataset according to cfg.
+// All randomness comes from rng, so a fixed seed yields a fixed dataset.
+func GenerateFair(rng *rand.Rand, cfg FairConfig) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		HorizonDays: cfg.HorizonDays,
+		Products:    make([]Product, cfg.Products),
+	}
+	for p := 0; p < cfg.Products; p++ {
+		quality := cfg.QualityMean + (rng.Float64()*2-1)*cfg.QualityJitter
+		phase := rng.Float64() * 2 * math.Pi
+		series := generateProductSeries(rng, cfg, quality, phase)
+		d.Products[p] = Product{ID: ProductID(p), Ratings: series}
+	}
+	return d, nil
+}
+
+// ProductID returns the canonical product identifier for index i ("tv1"…).
+func ProductID(i int) string { return fmt.Sprintf("tv%d", i+1) }
+
+func generateProductSeries(rng *rand.Rand, cfg FairConfig, quality, phase float64) Series {
+	days := int(math.Ceil(cfg.HorizonDays))
+	var series Series
+	used := make(map[int]bool) // raters that already rated this product
+	for day := 0; day < days; day++ {
+		rate := cfg.ArrivalRate
+		if cfg.BurstProb > 0 && rng.Float64() < cfg.BurstProb {
+			rate *= 3
+		}
+		n := (stats.Poisson{Lambda: rate}).Sample(rng)
+		drift := 0.0
+		if cfg.DriftAmp > 0 && cfg.DriftPeriodDays > 0 {
+			drift = cfg.DriftAmp * math.Sin(2*math.Pi*float64(day)/cfg.DriftPeriodDays+phase)
+		}
+		for i := 0; i < n; i++ {
+			v := quality + drift + rng.NormFloat64()*cfg.NoiseSigma
+			if cfg.JShare > 0 && rng.Float64() < cfg.JShare {
+				// An extreme opinion: raves outnumber rants 4:1.
+				if rng.Float64() < 0.8 {
+					v = MaxValue - rng.Float64()*0.5
+				} else {
+					v = MinValue + rng.Float64()
+				}
+			}
+			v = stats.Clamp(v, MinValue, MaxValue)
+			if cfg.HalfStars {
+				v = QuantizeHalfStar(v)
+			}
+			series = append(series, Rating{
+				Day:   float64(day) + rng.Float64(),
+				Value: v,
+				Rater: honestRater(rng, cfg.RaterPool, used),
+			})
+		}
+	}
+	series.Sort()
+	return series
+}
+
+// honestRater draws a rater ID from the pool, avoiding repeats within one
+// product (each rater rates a product at most once, as Eq. 7 assumes).
+func honestRater(rng *rand.Rand, pool int, used map[int]bool) string {
+	for attempt := 0; attempt < 16; attempt++ {
+		id := rng.IntN(pool)
+		if !used[id] {
+			used[id] = true
+			return fmt.Sprintf("h%04d", id)
+		}
+	}
+	// Pool nearly exhausted; fall back to a fresh synthetic ID.
+	id := pool + len(used)
+	used[id] = true
+	return fmt.Sprintf("h%04d", id)
+}

@@ -1,0 +1,24 @@
+package dataset
+
+import "time"
+
+// Epoch is the wall-clock anchor of simulation day 0. The rating challenge
+// opened on April 25, 2007 (Section V-A), so that date anchors exported
+// timestamps.
+var Epoch = time.Date(2007, time.April, 25, 0, 0, 0, 0, time.UTC)
+
+// DayToTime converts a simulation day (fractional days since the epoch) to
+// a wall-clock instant.
+func DayToTime(day float64) time.Time {
+	return Epoch.Add(time.Duration(day * 24 * float64(time.Hour)))
+}
+
+// TimeToDay converts a wall-clock instant back to a simulation day.
+func TimeToDay(t time.Time) float64 {
+	return t.Sub(Epoch).Hours() / 24
+}
+
+// Time returns the rating's wall-clock timestamp.
+func (r Rating) Time() time.Time {
+	return DayToTime(r.Day)
+}

@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDayToTimeRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		day := float64(raw) / 100 // 0 … 655.35 days
+		back := TimeToDay(DayToTime(day))
+		return almost(back, day)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDayZeroIsEpoch(t *testing.T) {
+	if !DayToTime(0).Equal(Epoch) {
+		t.Errorf("DayToTime(0) = %v", DayToTime(0))
+	}
+	if got := TimeToDay(Epoch); got != 0 {
+		t.Errorf("TimeToDay(Epoch) = %v", got)
+	}
+}
+
+func TestDayToTimeArithmetic(t *testing.T) {
+	got := DayToTime(1.5)
+	want := time.Date(2007, time.April, 26, 12, 0, 0, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Errorf("DayToTime(1.5) = %v, want %v", got, want)
+	}
+}
+
+func TestRatingTime(t *testing.T) {
+	r := Rating{Day: 2}
+	want := time.Date(2007, time.April, 27, 0, 0, 0, 0, time.UTC)
+	if !r.Time().Equal(want) {
+		t.Errorf("Rating.Time() = %v, want %v", r.Time(), want)
+	}
+}

@@ -1,0 +1,90 @@
+package detect
+
+import "repro/internal/armodel"
+
+// Config collects every window size and threshold of the detector stack.
+// Defaults follow Section V-A of the paper: MC window 30 days, H-ARC/L-ARC
+// window 30 days, HC window 40 ratings, ME window 40 ratings; thresholds are
+// calibrated on the synthetic fair data so that attack-free series stay
+// below alarm level (see the package tests).
+type Config struct {
+	// MCWindowDays is the total mean-change window (2 half-windows).
+	MCWindowDays float64
+	// MCPeakThreshold is the GLRT level above which an MC peak is declared.
+	MCPeakThreshold float64
+	// MCPeakMinSepDays suppresses secondary peaks closer than this.
+	MCPeakMinSepDays float64
+	// MCThreshold1 marks a segment suspicious on |Bj−Bavg| alone.
+	MCThreshold1 float64
+	// MCThreshold2 marks a segment suspicious on a moderate mean change
+	// combined with below-par rater trust (MCThreshold2 < MCThreshold1).
+	MCThreshold2 float64
+	// MCTrustRatio is the Tj/Tavg level below which a segment's raters are
+	// considered less trustworthy.
+	MCTrustRatio float64
+
+	// ARCWindowDays is the total arrival-rate-change window (2D).
+	ARCWindowDays float64
+	// ARCPeakThreshold is the normalized Poisson GLRT alarm level.
+	ARCPeakThreshold float64
+	// ARCPeakMinSepDays suppresses secondary ARC peaks closer than this.
+	ARCPeakMinSepDays float64
+	// ARCRateDelta is the minimum absolute elevation (ratings/day) of a
+	// segment's band arrival rate over the median daily rate for the
+	// segment to be suspicious.
+	ARCRateDelta float64
+	// ARCRelDelta is the minimum relative elevation (fraction of the
+	// median daily rate); the larger of the two margins applies.
+	ARCRelDelta float64
+
+	// HCWindowRatings is the histogram-change window length in ratings.
+	HCWindowRatings int
+	// HCStepRatings is the slide step between HC windows.
+	HCStepRatings int
+	// HCThreshold marks a window suspicious when the two-cluster size
+	// ratio is at or above it (a second rating population has appeared).
+	HCThreshold float64
+	// HCMinGap is the minimum value separation between the two clusters
+	// for the split to count (guards against splitting one noisy mode).
+	HCMinGap float64
+
+	// MEWindowRatings is the model-error window length in ratings.
+	MEWindowRatings int
+	// MEStepRatings is the slide step between ME windows.
+	MEStepRatings int
+	// MEOrder is the AR model order.
+	MEOrder int
+	// MEMethod selects the AR fitting algorithm (zero value = the paper's
+	// covariance method; armodel.Autocorrelation and armodel.Burg are
+	// available for ablation).
+	MEMethod armodel.Method
+	// METhreshold marks a window suspicious when the relative model error
+	// drops below it (a predictable "signal" is present).
+	METhreshold float64
+}
+
+// DefaultConfig returns the paper's published parameters with calibrated
+// thresholds.
+func DefaultConfig() Config {
+	return Config{
+		MCWindowDays:      30,
+		MCPeakThreshold:   9,
+		MCPeakMinSepDays:  6,
+		MCThreshold1:      0.9,
+		MCThreshold2:      0.35,
+		MCTrustRatio:      0.9,
+		ARCWindowDays:     30,
+		ARCPeakThreshold:  0.12,
+		ARCPeakMinSepDays: 6,
+		ARCRateDelta:      0.2,
+		ARCRelDelta:       0.5,
+		HCWindowRatings:   40,
+		HCStepRatings:     5,
+		HCThreshold:       0.12,
+		HCMinGap:          1.0,
+		MEWindowRatings:   40,
+		MEStepRatings:     5,
+		MEOrder:           4,
+		METhreshold:       0.55,
+	}
+}

@@ -1,0 +1,124 @@
+// Package detect implements the four unfair-rating detectors of the paper's
+// reliable rating aggregation system — Mean Change (MC, Gaussian GLRT),
+// Arrival Rate Change (ARC / H-ARC / L-ARC, Poisson GLRT), Histogram Change
+// (HC, single-linkage clustering) and Model Error (ME, AR covariance fit) —
+// together with the two-path detector fusion of Figure 1 that turns
+// indicator curves into suspicious ratings and suspicious time intervals.
+package detect
+
+import "sort"
+
+// Curve is an indicator curve: statistic Y sampled at time positions X
+// (days). X is non-decreasing.
+type Curve struct {
+	X []float64
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (c Curve) Len() int { return len(c.X) }
+
+// Max returns the largest Y value, or 0 for an empty curve.
+func (c Curve) Max() float64 {
+	var m float64
+	for i, y := range c.Y {
+		if i == 0 || y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Peaks returns the indices of local maxima with Y ≥ threshold, separated by
+// at least minSep on the X axis. Within any run of candidates closer than
+// minSep, only the largest survives (ties resolve to the earliest).
+func (c Curve) Peaks(threshold, minSep float64) []int {
+	n := len(c.Y)
+	var candidates []int
+	for i := 0; i < n; i++ {
+		if c.Y[i] < threshold {
+			continue
+		}
+		if (i == 0 || c.Y[i] >= c.Y[i-1]) && (i == n-1 || c.Y[i] >= c.Y[i+1]) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Greedy non-maximum suppression, strongest first.
+	order := make([]int, len(candidates))
+	copy(order, candidates)
+	sort.SliceStable(order, func(a, b int) bool { return c.Y[order[a]] > c.Y[order[b]] })
+	kept := make([]int, 0, len(order))
+	for _, idx := range order {
+		ok := true
+		for _, k := range kept {
+			if abs(c.X[idx]-c.X[k]) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, idx)
+		}
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+// Interval is a half-open time interval [Start, End) in days.
+type Interval struct {
+	Start float64
+	End   float64
+}
+
+// Contains reports whether day t falls inside the interval.
+func (iv Interval) Contains(t float64) bool {
+	return t >= iv.Start && t < iv.End
+}
+
+// Overlaps reports whether two intervals intersect.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the intersection (empty Interval with Start ≥ End when
+// disjoint).
+func (iv Interval) Intersect(other Interval) Interval {
+	lo := maxF(iv.Start, other.Start)
+	hi := minF(iv.End, other.End)
+	return Interval{Start: lo, End: hi}
+}
+
+// Empty reports whether the interval contains no time.
+func (iv Interval) Empty() bool { return iv.Start >= iv.End }
+
+// Duration returns End − Start (0 for empty intervals).
+func (iv Interval) Duration() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

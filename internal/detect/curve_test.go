@@ -1,0 +1,111 @@
+package detect
+
+import "testing"
+
+func TestCurvePeaks(t *testing.T) {
+	c := Curve{
+		X: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8},
+		Y: []float64{0, 1, 5, 1, 0, 2, 9, 2, 0},
+	}
+	peaks := c.Peaks(3, 1)
+	if len(peaks) != 2 || peaks[0] != 2 || peaks[1] != 6 {
+		t.Errorf("Peaks = %v, want [2 6]", peaks)
+	}
+	// High threshold keeps only the strongest.
+	if got := c.Peaks(8, 1); len(got) != 1 || got[0] != 6 {
+		t.Errorf("Peaks(8) = %v, want [6]", got)
+	}
+	if got := c.Peaks(100, 1); got != nil {
+		t.Errorf("Peaks(100) = %v, want nil", got)
+	}
+}
+
+func TestCurvePeaksMinSeparation(t *testing.T) {
+	// Two nearby maxima: only the larger survives with wide minSep.
+	c := Curve{
+		X: []float64{0, 1, 2, 3, 4},
+		Y: []float64{0, 5, 1, 7, 0},
+	}
+	peaks := c.Peaks(3, 5)
+	if len(peaks) != 1 || peaks[0] != 3 {
+		t.Errorf("Peaks = %v, want [3]", peaks)
+	}
+	// Narrow separation keeps both.
+	peaks = c.Peaks(3, 1.5)
+	if len(peaks) != 2 {
+		t.Errorf("Peaks = %v, want two", peaks)
+	}
+}
+
+func TestCurvePeaksPlateau(t *testing.T) {
+	// A flat-topped peak still yields at least one peak.
+	c := Curve{
+		X: []float64{0, 1, 2, 3, 4},
+		Y: []float64{0, 4, 4, 4, 0},
+	}
+	peaks := c.Peaks(3, 0.5)
+	if len(peaks) == 0 {
+		t.Error("plateau produced no peak")
+	}
+}
+
+func TestCurveMax(t *testing.T) {
+	if got := (Curve{}).Max(); got != 0 {
+		t.Errorf("empty Max = %v", got)
+	}
+	c := Curve{X: []float64{0, 1}, Y: []float64{-3, -7}}
+	if got := c.Max(); got != -3 {
+		t.Errorf("Max = %v, want -3", got)
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{Start: 1, End: 5}
+	b := Interval{Start: 4, End: 9}
+	c := Interval{Start: 6, End: 7}
+
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c should not overlap")
+	}
+	got := a.Intersect(b)
+	if got.Start != 4 || got.End != 5 {
+		t.Errorf("Intersect = %+v", got)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint Intersect should be empty")
+	}
+	if !a.Contains(1) || a.Contains(5) || a.Contains(0.5) {
+		t.Error("Contains half-open semantics violated")
+	}
+	if got := a.Duration(); got != 4 {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := (Interval{Start: 5, End: 2}).Duration(); got != 0 {
+		t.Errorf("empty Duration = %v", got)
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	ivs := []Interval{{0, 2}, {1, 4}, {4, 5}, {7, 9}}
+	got := mergeIntervals(ivs)
+	if len(got) != 2 {
+		t.Fatalf("merged = %v", got)
+	}
+	if got[0] != (Interval{0, 5}) || got[1] != (Interval{7, 9}) {
+		t.Errorf("merged = %v", got)
+	}
+	if got := mergeIntervals(nil); got != nil {
+		t.Errorf("merge(nil) = %v", got)
+	}
+}
+
+func TestNormalizeIntervals(t *testing.T) {
+	ivs := []Interval{{7, 9}, {0, 2}, {1, 3}}
+	got := normalizeIntervals(ivs)
+	if len(got) != 2 || got[0] != (Interval{0, 3}) || got[1] != (Interval{7, 9}) {
+		t.Errorf("normalized = %v", got)
+	}
+}

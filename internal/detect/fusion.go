@@ -1,0 +1,170 @@
+package detect
+
+import "repro/internal/dataset"
+
+// Report is the joint outcome of the four detectors plus the two-path
+// fusion of Figure 1 on one product's rating series.
+type Report struct {
+	MC   MCResult
+	HARC ARCResult
+	LARC ARCResult
+	HC   HCResult
+	ME   MEResult
+
+	// Suspicious marks each rating index judged suspicious by the fusion.
+	Suspicious []bool
+	// Intervals is the merged set of time intervals in which suspicious
+	// ratings were marked.
+	Intervals []Interval
+}
+
+// SuspiciousCount returns the number of ratings marked suspicious.
+func (r Report) SuspiciousCount() int {
+	n := 0
+	for _, s := range r.Suspicious {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// Analyze runs the full detector stack and Figure 1 fusion on the series.
+//
+// Path 1 (strong attacks): when the MC detector flags a segment (a U-shape
+// on the MC indicator curve) and the H-ARC (resp. L-ARC) detector shows a
+// U-shape or a suspicious rate-increase segment overlapping it, the high
+// (resp. low) ratings inside the overlap are marked suspicious.
+//
+// Path 2 (suspicious intervals): when H-ARC (resp. L-ARC) raises an alarm
+// and the ME or HC detector flags an overlapping window, the high (resp.
+// low) ratings inside the overlap are marked suspicious.
+//
+// Both paths always run (there may be multiple attacks against one
+// product). horizon is the dataset horizon in days; ts supplies rater trust
+// for the MC segment test (pass nil for the neutral 0.5 source).
+func Analyze(s dataset.Series, horizon float64, cfg Config, ts TrustSource) Report {
+	rep := Report{
+		MC:         MeanChange(s, cfg, ts),
+		HARC:       ArrivalRateChange(s, horizon, HighBand, cfg),
+		LARC:       ArrivalRateChange(s, horizon, LowBand, cfg),
+		HC:         HistogramChange(s, cfg),
+		ME:         ModelError(s, cfg),
+		Suspicious: make([]bool, len(s)),
+	}
+	if len(s) == 0 {
+		return rep
+	}
+
+	var marked []Interval
+
+	// Path 1: MC suspicious segment ∧ (H-ARC | L-ARC) U-shape or segment.
+	// The bands are paired by direction: a downward mean shift can only be
+	// explained by extra low ratings (L-ARC), an upward one by extra high
+	// ratings (H-ARC).
+	for _, seg := range rep.MC.Segments {
+		if !seg.Suspicious {
+			continue
+		}
+		arc := &rep.LARC
+		if seg.Shift > 0 {
+			arc = &rep.HARC
+		}
+		for _, arcIv := range append(arc.UShape(), arc.SuspiciousIntervals()...) {
+			common := seg.Interval.Intersect(arcIv)
+			if common.Empty() {
+				continue
+			}
+			markBand(s, common, *arc, rep.Suspicious)
+			marked = append(marked, common)
+		}
+	}
+
+	// Path 2: (H-ARC | L-ARC) alarm ∧ (ME | HC) suspicious window. Once a
+	// second-stage detector confirms any part of an ARC-suspicious
+	// segment, the band ratings of the *whole* segment are marked: the
+	// confirmation says the elevated band rate is an attack, and the
+	// attack spans the segment, not just the confirming window.
+	secondStage := append(append([]Interval(nil), rep.ME.Intervals...), rep.HC.Intervals...)
+	for _, arc := range []*ARCResult{&rep.HARC, &rep.LARC} {
+		if !arc.Alarm() {
+			continue
+		}
+		for _, arcIv := range arc.SuspiciousIntervals() {
+			for _, sig := range secondStage {
+				if !arcIv.Overlaps(sig) {
+					continue
+				}
+				markBand(s, arcIv, *arc, rep.Suspicious)
+				marked = append(marked, arcIv)
+				break
+			}
+		}
+	}
+
+	rep.Intervals = normalizeIntervals(marked)
+	return rep
+}
+
+// markBand marks ratings inside iv whose value falls in the detector's band
+// — above threshold_a for H-ARC, below threshold_b for L-ARC. The band
+// threshold is additionally clamped to the mean of the ratings *outside*
+// the interval: for a mean-4 product, threshold_a ≈ 2 would otherwise mark
+// virtually every rating in a boost-suspicious interval, and removing them
+// all would distort the aggregate more than the attack itself (the MP
+// metric counts over-correction as manipulation too).
+func markBand(s dataset.Series, iv Interval, arc ARCResult, suspicious []bool) {
+	context := contextMean(s, iv)
+	hi := maxF(arc.ThresholdA, context)
+	lo := minF(arc.ThresholdB, context)
+	for i, r := range s {
+		if !iv.Contains(r.Day) {
+			continue
+		}
+		switch arc.Band {
+		case HighBand:
+			if r.Value > hi {
+				suspicious[i] = true
+			}
+		case LowBand:
+			if r.Value < lo {
+				suspicious[i] = true
+			}
+		default:
+			suspicious[i] = true
+		}
+	}
+}
+
+// contextMean returns the mean rating value outside the interval (falling
+// back to the whole-series mean when the interval covers everything).
+func contextMean(s dataset.Series, iv Interval) float64 {
+	var sum float64
+	var n int
+	for _, r := range s {
+		if iv.Contains(r.Day) {
+			continue
+		}
+		sum += r.Value
+		n++
+	}
+	if n == 0 {
+		return s.Mean()
+	}
+	return sum / float64(n)
+}
+
+// normalizeIntervals sorts and merges a bag of intervals.
+func normalizeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	for i := 1; i < len(sorted); i++ { // insertion sort: small inputs
+		for j := i; j > 0 && sorted[j].Start < sorted[j-1].Start; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return mergeIntervals(sorted)
+}

@@ -1,0 +1,73 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+const testHorizon = 150.0
+
+// fairSeries generates one product's honest ratings with the default
+// challenge-like configuration.
+func fairSeries(t *testing.T, seed uint64) dataset.Series {
+	t.Helper()
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 1
+	cfg.HorizonDays = testHorizon
+	d, err := dataset.GenerateFair(stats.NewRNG(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Products[0].Ratings
+}
+
+// blockAttack builds n unfair ratings uniformly spread over [start, end)
+// with Gaussian values (mean, sigma) clamped to the rating range.
+func blockAttack(rng *rand.Rand, start, end float64, n int, mean, sigma float64) dataset.Series {
+	out := make(dataset.Series, n)
+	for i := 0; i < n; i++ {
+		v := stats.Clamp(mean+rng.NormFloat64()*sigma, dataset.MinValue, dataset.MaxValue)
+		out[i] = dataset.Rating{
+			Day:    start + (end-start)*float64(i)/float64(n) + rng.Float64()*0.3,
+			Value:  dataset.QuantizeHalfStar(v),
+			Rater:  fmt.Sprintf("atk%03d", i),
+			Unfair: true,
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// attacked merges a block attack into a fair series.
+func attacked(t *testing.T, seed uint64, start, end float64, n int, mean, sigma float64) dataset.Series {
+	t.Helper()
+	fair := fairSeries(t, seed)
+	atk := blockAttack(stats.NewRNG(seed+1000), start, end, n, mean, sigma)
+	return fair.Merge(atk)
+}
+
+// recallPrecision scores marked ratings against the ground-truth labels.
+func recallPrecision(s dataset.Series, suspicious []bool) (recall, precision float64) {
+	var tp, fp, fn int
+	for i, r := range s {
+		switch {
+		case r.Unfair && suspicious[i]:
+			tp++
+		case !r.Unfair && suspicious[i]:
+			fp++
+		case r.Unfair && !suspicious[i]:
+			fn++
+		}
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	return recall, precision
+}

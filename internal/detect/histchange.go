@@ -1,0 +1,94 @@
+package detect
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+)
+
+// HCResult is the outcome of the histogram-change detector on one series.
+type HCResult struct {
+	Curve     Curve
+	Intervals []Interval // windows whose statistic crossed the threshold
+}
+
+// Suspicious reports whether any window crossed the HC threshold.
+func (r HCResult) Suspicious() bool { return len(r.Intervals) > 0 }
+
+// HistogramChange runs the histogram-change detector of Section IV-D:
+// within each sliding window of HCWindowRatings ratings, the values are cut
+// into two single-linkage clusters and HC(k) = min(n1/n2, n2/n1) (Eq. 6). A
+// window is suspicious when a *separated* second population appears — the
+// size ratio reaches HCThreshold and the gap between the clusters is at
+// least HCMinGap rating points.
+func HistogramChange(s dataset.Series, cfg Config) HCResult {
+	res := HCResult{}
+	w := cfg.HCWindowRatings
+	step := cfg.HCStepRatings
+	if step <= 0 {
+		step = 1
+	}
+	if w <= 1 || len(s) < w {
+		return res
+	}
+	for start := 0; start+w <= len(s); start += step {
+		win := s[start : start+w]
+		vals := win.Values()
+		ratio := clusterGapRatio(vals, cfg.HCMinGap)
+		center := (win[0].Day + win[w-1].Day) / 2
+		res.Curve.X = append(res.Curve.X, center)
+		res.Curve.Y = append(res.Curve.Y, ratio)
+		if ratio >= cfg.HCThreshold {
+			res.Intervals = append(res.Intervals, Interval{Start: win[0].Day, End: win[w-1].Day})
+		}
+	}
+	res.Intervals = mergeIntervals(res.Intervals)
+	return res
+}
+
+// clusterGapRatio computes the two-cluster size ratio, but returns 0 when
+// the value gap between the clusters is below minGap (one noisy population,
+// not a histogram change).
+func clusterGapRatio(vals []float64, minGap float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	asg, err := cluster.SingleLinkage(vals, 2)
+	if err != nil {
+		return 0
+	}
+	// Gap = min(high cluster) − max(low cluster).
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	sizes := asg.Sizes(2)
+	if sizes[0] == 0 || sizes[1] == 0 {
+		return 0
+	}
+	gap := sorted[sizes[0]] - sorted[sizes[0]-1]
+	if gap < minGap {
+		return 0
+	}
+	return cluster.SizeRatio(vals)
+}
+
+// mergeIntervals coalesces overlapping or touching intervals (inputs must be
+// ordered by Start, which sliding windows guarantee).
+func mergeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := []Interval{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package detect
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// TrustSource supplies rater trust to the detectors. The zero-history trust
+// is 0.5 (beta model), so a source returning 0.5 for everyone disables the
+// trust-assisted branch of the MC segment test.
+type TrustSource interface {
+	// Trust returns the current trust in the given rater.
+	Trust(rater string) float64
+	// AverageTrust returns the mean trust over the raters (0.5 for none).
+	AverageTrust(raters []string) float64
+}
+
+// neutralTrust is the TrustSource used when no trust manager is wired in.
+type neutralTrust struct{}
+
+func (neutralTrust) Trust(string) float64          { return 0.5 }
+func (neutralTrust) AverageTrust([]string) float64 { return 0.5 }
+
+// NeutralTrust returns a TrustSource that reports 0.5 for every rater.
+func NeutralTrust() TrustSource { return neutralTrust{} }
+
+// MCCurve computes the mean-change indicator curve of Section IV-B.2: for
+// each rating k, the GLRT statistic for a mean change at t(k) between the
+// ratings in [t(k)−W, t(k)) and [t(k), t(k)+W) with W = MCWindowDays/2.
+// Boundary positions use whatever smaller half-windows are available.
+func MCCurve(s dataset.Series, cfg Config) Curve {
+	n := len(s)
+	c := Curve{X: make([]float64, n), Y: make([]float64, n)}
+	half := cfg.MCWindowDays / 2
+	for k := 0; k < n; k++ {
+		t := s[k].Day
+		x1 := s.Between(t-half, t).Values()
+		x2 := s.Between(t, t+half).Values()
+		sigma2 := stats.PooledVariance(x1, x2, 0.25)
+		c.X[k] = t
+		c.Y[k] = stats.MeanChangeGLRT(x1, x2, sigma2)
+	}
+	return c
+}
+
+// MCSegment is one run of ratings between consecutive MC peaks.
+type MCSegment struct {
+	Interval Interval
+	Mean     float64 // Bj: mean rating value in the segment
+	AvgTrust float64 // Tj: mean trust of the segment's raters
+	// Shift is Bj minus the mean of the other segments; its sign tells a
+	// downgrade-shaped anomaly (negative) from a boost-shaped one.
+	Shift      float64
+	Suspicious bool
+}
+
+// MCResult is the outcome of the mean-change detector on one series.
+type MCResult struct {
+	Curve    Curve
+	Peaks    []int // indices into Curve (== series indices)
+	Segments []MCSegment
+}
+
+// Suspicious reports whether any segment was marked suspicious.
+func (r MCResult) Suspicious() bool {
+	for _, seg := range r.Segments {
+		if seg.Suspicious {
+			return true
+		}
+	}
+	return false
+}
+
+// SuspiciousIntervals returns the intervals of the suspicious segments.
+func (r MCResult) SuspiciousIntervals() []Interval {
+	var out []Interval
+	for _, seg := range r.Segments {
+		if seg.Suspicious {
+			out = append(out, seg.Interval)
+		}
+	}
+	return out
+}
+
+// MeanChange runs the full MC detector of Section IV-B: indicator curve,
+// peak detection, segmentation at the peaks, and the two-condition segment
+// suspiciousness test (large mean change, or moderate mean change plus
+// below-par rater trust).
+func MeanChange(s dataset.Series, cfg Config, ts TrustSource) MCResult {
+	if ts == nil {
+		ts = NeutralTrust()
+	}
+	res := MCResult{Curve: MCCurve(s, cfg)}
+	if len(s) == 0 {
+		return res
+	}
+	res.Peaks = res.Curve.Peaks(cfg.MCPeakThreshold, cfg.MCPeakMinSepDays)
+
+	bounds := segmentBounds(s, res.Peaks)
+	overall := s.Values()
+	totalSum := stats.Sum(overall)
+	totalN := float64(len(overall))
+
+	// Tavg over all raters in the series.
+	allRaters := make([]string, len(s))
+	for i, r := range s {
+		allRaters[i] = r.Rater
+	}
+	tAvg := ts.AverageTrust(allRaters)
+
+	for _, iv := range bounds {
+		seg := s.Between(iv.Start, iv.End)
+		if len(seg) == 0 {
+			continue
+		}
+		raters := make([]string, len(seg))
+		for i, r := range seg {
+			raters[i] = r.Rater
+		}
+		m := MCSegment{
+			Interval: iv,
+			Mean:     stats.Mean(seg.Values()),
+			AvgTrust: ts.AverageTrust(raters),
+		}
+		// Compare the segment mean against the mean of the *other*
+		// segments: a long attack segment would otherwise drag the global
+		// average toward itself and dilute its own evidence.
+		bAvg := m.Mean
+		if rest := totalN - float64(len(seg)); rest > 0 {
+			bAvg = (totalSum - m.Mean*float64(len(seg))) / rest
+		}
+		m.Shift = m.Mean - bAvg
+		dev := abs(m.Shift)
+		switch {
+		case dev > cfg.MCThreshold1:
+			m.Suspicious = true
+		case dev > cfg.MCThreshold2 && tAvg > 0 && m.AvgTrust/tAvg < cfg.MCTrustRatio:
+			m.Suspicious = true
+		}
+		res.Segments = append(res.Segments, m)
+	}
+	return res
+}
+
+// segmentBounds splits the series' time span at the peak positions,
+// returning M+1 intervals for M peaks (or one interval covering everything
+// when there are no peaks).
+func segmentBounds(s dataset.Series, peaks []int) []Interval {
+	first, last := s.Span()
+	end := last + 1e-9 // make the final interval include the last rating
+	if len(peaks) == 0 {
+		return []Interval{{Start: first, End: end}}
+	}
+	var out []Interval
+	prev := first
+	for _, p := range peaks {
+		t := s[p].Day
+		if t > prev {
+			out = append(out, Interval{Start: prev, End: t})
+		}
+		prev = t
+	}
+	if prev < end {
+		out = append(out, Interval{Start: prev, End: end})
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package detect
+
+import (
+	"repro/internal/armodel"
+	"repro/internal/dataset"
+)
+
+// MEResult is the outcome of the signal-model-change detector on one series.
+type MEResult struct {
+	Curve     Curve      // relative AR model error per window center
+	Intervals []Interval // windows whose model error dropped below threshold
+}
+
+// Suspicious reports whether any window dropped below the ME threshold.
+func (r MEResult) Suspicious() bool { return len(r.Intervals) > 0 }
+
+// ModelError runs the signal-model-change detector of Section IV-E (the
+// detector of Yang et al. 2007): the ratings in each sliding window of
+// MEWindowRatings ratings are fitted with an AR(MEOrder) model via the
+// covariance method; honest ratings look like white noise (relative model
+// error near 1) and a window is suspicious when the relative model error
+// drops below METhreshold — a predictable "signal" from collaborative
+// raters is present.
+func ModelError(s dataset.Series, cfg Config) MEResult {
+	res := MEResult{}
+	w := cfg.MEWindowRatings
+	step := cfg.MEStepRatings
+	if step <= 0 {
+		step = 1
+	}
+	if w <= 2*cfg.MEOrder || len(s) < w {
+		return res
+	}
+	for start := 0; start+w <= len(s); start += step {
+		win := s[start : start+w]
+		m, err := armodel.FitMethod(win.Values(), cfg.MEOrder, cfg.MEMethod)
+		if err != nil {
+			continue
+		}
+		center := (win[0].Day + win[w-1].Day) / 2
+		res.Curve.X = append(res.Curve.X, center)
+		res.Curve.Y = append(res.Curve.Y, m.RelErr)
+		if m.RelErr < cfg.METhreshold {
+			res.Intervals = append(res.Intervals, Interval{Start: win[0].Day, End: win[w-1].Day})
+		}
+	}
+	res.Intervals = mergeIntervals(res.Intervals)
+	return res
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/challenge"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Extension experiments beyond the paper's published figures: the
+// six-scheme comparison (adding the related-work baselines), the
+// trust-bootstrapping camouflage ablation, and the boost-side analysis the
+// paper defers to future work.
+
+// SchemeComparisonResult extends the Figure 8 headline to every
+// implemented defense.
+type SchemeComparisonResult struct {
+	// MaxMP and MeanMP map scheme name to population statistics.
+	MaxMP  map[string]float64
+	MeanMP map[string]float64
+	Order  []string
+}
+
+// SchemeComparison scores the population under all six schemes: SA
+// (no defense), BF and WBF (beta-function filtering, heuristic and
+// quantile variants), ENT (entropy filtering), CLU (clustering) and P
+// (the paper's signal-based system).
+func (l *Lab) SchemeComparison() (*SchemeComparisonResult, error) {
+	res := &SchemeComparisonResult{
+		MaxMP:  make(map[string]float64),
+		MeanMP: make(map[string]float64),
+		Order:  []string{"SA", "BF", "WBF", "ENT", "CLU", "P"},
+	}
+	for _, name := range res.Order {
+		scored, err := l.Scored(name)
+		if err != nil {
+			return nil, err
+		}
+		var sum, best float64
+		for _, sc := range scored {
+			sum += sc.MP.Overall
+			if sc.MP.Overall > best {
+				best = sc.MP.Overall
+			}
+		}
+		res.MaxMP[name] = best
+		res.MeanMP[name] = sum / float64(len(scored))
+	}
+	return res, nil
+}
+
+// String renders the comparison table.
+func (r *SchemeComparisonResult) String() string {
+	var b strings.Builder
+	b.WriteString("Scheme comparison (all implemented defenses)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s\n", "scheme", "max MP", "mean MP")
+	for _, name := range r.Order {
+		fmt.Fprintf(&b, "%-8s %10.4f %10.4f\n", name, r.MaxMP[name], r.MeanMP[name])
+	}
+	return b.String()
+}
+
+// CamouflageResult is the trust-bootstrapping ablation: the same strike
+// attack with and without a preceding camouflage phase in which the biased
+// raters rate non-target products honestly.
+type CamouflageResult struct {
+	Scheme string
+	// PlainMP is the strike alone; CamouflagedMP includes the camouflage
+	// phase. Amplification is their ratio.
+	PlainMP       float64
+	CamouflagedMP float64
+	Amplification float64
+}
+
+// CamouflageAblation runs the ablation under the named scheme. The strike
+// downgrades product 1 in the second half of the horizon; the camouflage
+// phase has the same raters rating every non-target product honestly in
+// the first half.
+func (l *Lab) CamouflageAblation(schemeName string) (*CamouflageResult, error) {
+	scheme, err := l.Scheme(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.Opts.Challenge
+	horizon := cfg.Fair.HorizonDays
+	target := l.product1()
+
+	fairByProduct := make(map[string]dataset.Series, len(l.Challenge.Fair.Products))
+	for _, p := range l.Challenge.Fair.Products {
+		fairByProduct[p.ID] = p.Ratings
+	}
+
+	strikeProfile := core.Profile{
+		Bias: -2.5, StdDev: 0.8, Count: cfg.BiasedRaters,
+		StartDay: horizon * 0.55, DurationDays: horizon * 0.25,
+		Correlation: core.Independent, Quantize: true,
+	}
+
+	// Plain strike.
+	genPlain := core.NewGenerator(l.Opts.Seed^0xCA30, core.DefaultRaters(cfg.BiasedRaters))
+	strike, err := genPlain.Generate(map[string]core.Profile{target: strikeProfile}, fairByProduct)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := l.Challenge.Score(strike, scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	// Camouflaged strike: same strike, plus honest-looking ratings on the
+	// non-target products during the first half of the horizon.
+	genCamo := core.NewGenerator(l.Opts.Seed^0xCA30, core.DefaultRaters(cfg.BiasedRaters))
+	strike2, err := genCamo.Generate(map[string]core.Profile{target: strikeProfile}, fairByProduct)
+	if err != nil {
+		return nil, err
+	}
+	var nonTargets []string
+	for _, p := range l.Challenge.Fair.Products {
+		if p.ID != target {
+			nonTargets = append(nonTargets, p.ID)
+		}
+	}
+	camo, err := genCamo.GenerateCamouflage(core.Camouflage{
+		Products:         nonTargets,
+		RatersPerProduct: cfg.BiasedRaters,
+		StartDay:         horizon * 0.05,
+		DurationDays:     horizon * 0.4,
+		Sigma:            0.6,
+	}, fairByProduct)
+	if err != nil {
+		return nil, err
+	}
+	combined, err := l.Challenge.Score(strike2.Merge(camo), scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CamouflageResult{
+		Scheme:        scheme.Name(),
+		PlainMP:       plain.Overall,
+		CamouflagedMP: combined.Overall,
+	}
+	if res.PlainMP > 0 {
+		res.Amplification = res.CamouflagedMP / res.PlainMP
+	}
+	return res, nil
+}
+
+// String renders the ablation outcome.
+func (r *CamouflageResult) String() string {
+	return fmt.Sprintf(
+		"Camouflage ablation — %s-scheme\nplain strike MP %.4f | with trust-building camouflage %.4f | amplification ×%.2f\n",
+		r.Scheme, r.PlainMP, r.CamouflagedMP, r.Amplification)
+}
+
+// PublicationResult compares the P-scheme's retrospective (offline)
+// evaluation with the rating challenge's real publication semantics
+// (online: each month's score is published from the data seen so far and
+// never revised). The gap is the value of hindsight.
+type PublicationResult struct {
+	OfflineMaxMP float64
+	OnlineMaxMP  float64
+}
+
+// PublicationAblation scores the population under both P-scheme variants.
+func (l *Lab) PublicationAblation() (*PublicationResult, error) {
+	off, err := l.MaxOverallMP("P")
+	if err != nil {
+		return nil, err
+	}
+	on, err := l.MaxOverallMP("P-online")
+	if err != nil {
+		return nil, err
+	}
+	return &PublicationResult{OfflineMaxMP: off, OnlineMaxMP: on}, nil
+}
+
+// String renders the comparison.
+func (r *PublicationResult) String() string {
+	return fmt.Sprintf(
+		"Publication-semantics ablation (P-scheme)\noffline (retrospective) max MP %.4f | online (published monthly) max MP %.4f\n",
+		r.OfflineMaxMP, r.OnlineMaxMP)
+}
+
+// BoostAnalysisResult is the boost-side variance–bias analysis the paper
+// leaves to future work (Section V-B observes only that positive bias has
+// "no much room" and low resolution).
+type BoostAnalysisResult struct {
+	Scheme  string
+	Product string
+	Points  []challenge.VBPoint
+	// MaxBoostMP and MaxDowngradeMP compare the two attack directions on
+	// their respective first targets.
+	MaxBoostMP     float64
+	MaxDowngradeMP float64
+}
+
+// BoostAnalysis builds the boost-target scatter under the named scheme and
+// quantifies the boost/downgrade asymmetry.
+func (l *Lab) BoostAnalysis(schemeName string) (*BoostAnalysisResult, error) {
+	scored, err := l.Scored(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	boostTarget := l.Opts.Challenge.BoostTargets[0]
+	res := &BoostAnalysisResult{
+		Scheme:  schemeName,
+		Product: boostTarget,
+		Points:  l.Challenge.VarianceBias(scored, boostTarget),
+	}
+	downTarget := l.product1()
+	for _, sc := range scored {
+		if v := sc.MP.Product(boostTarget); v > res.MaxBoostMP {
+			res.MaxBoostMP = v
+		}
+		if v := sc.MP.Product(downTarget); v > res.MaxDowngradeMP {
+			res.MaxDowngradeMP = v
+		}
+	}
+	return res, nil
+}
+
+// String renders the asymmetry summary.
+func (r *BoostAnalysisResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Boost-side analysis — %s-scheme, product %s\n", r.Scheme, r.Product)
+	fmt.Fprintf(&b, "max boost MP %.4f vs max downgrade MP %.4f (ratio %.2f)\n",
+		r.MaxBoostMP, r.MaxDowngradeMP, safeRatio(r.MaxBoostMP, r.MaxDowngradeMP))
+	ump := 0
+	for _, p := range r.Points {
+		if p.Marks.Has(challenge.MarkUMP) {
+			ump++
+		}
+	}
+	fmt.Fprintf(&b, "%d points, %d UMP marks; positive bias is capped by the ≈1-star headroom\n",
+		len(r.Points), ump)
+	return b.String()
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

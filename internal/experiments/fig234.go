@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/challenge"
+)
+
+// VarianceBiasResult reproduces one of Figures 2–4: the variance–bias
+// scatter of every submission against one product under one scheme, with
+// AMP/LMP/UMP marks and the region concentration of the strong downgrades.
+type VarianceBiasResult struct {
+	Scheme  string
+	Product string
+	Points  []challenge.VBPoint
+	// LMPByRegion counts where the top-10 downgrade submissions (LMP
+	// marks) fall in the R1/R2/R3 taxonomy — the paper's key observation:
+	// R3 dominates under the P-scheme, R1 under SA and BF.
+	LMPByRegion map[challenge.Region]int
+}
+
+// VarianceBias runs the Figure 2/3/4 experiment for the named scheme
+// ("P" → Fig. 2, "SA" → Fig. 3, "BF" → Fig. 4) on the given product
+// (the paper plots product 1, the first downgrade target).
+func (l *Lab) VarianceBias(schemeName, productID string) (*VarianceBiasResult, error) {
+	scored, err := l.Scored(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	points := l.Challenge.VarianceBias(scored, productID)
+	res := &VarianceBiasResult{
+		Scheme:      schemeName,
+		Product:     productID,
+		Points:      points,
+		LMPByRegion: make(map[challenge.Region]int),
+	}
+	for _, p := range points {
+		if p.Marks.Has(challenge.MarkLMP) {
+			res.LMPByRegion[challenge.Classify(p.Bias, p.Spread)]++
+		}
+	}
+	return res, nil
+}
+
+// Fig2 is the variance–bias plot under the P-scheme (product 1).
+func (l *Lab) Fig2() (*VarianceBiasResult, error) { return l.VarianceBias("P", l.product1()) }
+
+// Fig3 is the variance–bias plot under the SA-scheme (product 1).
+func (l *Lab) Fig3() (*VarianceBiasResult, error) { return l.VarianceBias("SA", l.product1()) }
+
+// Fig4 is the variance–bias plot under the BF-scheme (product 1).
+func (l *Lab) Fig4() (*VarianceBiasResult, error) { return l.VarianceBias("BF", l.product1()) }
+
+func (l *Lab) product1() string {
+	return l.Opts.Challenge.DowngradeTargets[0]
+}
+
+// DominantLMPRegion returns the region holding the most LMP marks.
+func (r *VarianceBiasResult) DominantLMPRegion() challenge.Region {
+	best := challenge.RegionOther
+	bestN := -1
+	for _, reg := range []challenge.Region{challenge.Region1, challenge.Region2, challenge.Region3, challenge.RegionOther} {
+		if n := r.LMPByRegion[reg]; n > bestN {
+			best, bestN = reg, n
+		}
+	}
+	return best
+}
+
+// String renders the scatter as the rows the paper plots: one line per
+// submission with bias, spread, MP and marks, followed by the region
+// summary.
+func (r *VarianceBiasResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Variance-bias plot — %s-scheme, product %s\n", r.Scheme, r.Product)
+	fmt.Fprintf(&b, "%6s  %8s  %8s  %10s  %10s  %-8s %s\n",
+		"sub", "bias", "stddev", "prodMP", "overallMP", "marks", "region")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d  %8.3f  %8.3f  %10.4f  %10.4f  %-8s %s\n",
+			p.SubmissionID, p.Bias, p.Spread, p.ProductMP, p.OverallMP,
+			p.Marks, challenge.Classify(p.Bias, p.Spread))
+	}
+	fmt.Fprintf(&b, "top-10 downgrades (LMP) by region: R1=%d R2=%d R3=%d other=%d → dominant %s\n",
+		r.LMPByRegion[challenge.Region1], r.LMPByRegion[challenge.Region2],
+		r.LMPByRegion[challenge.Region3], r.LMPByRegion[challenge.RegionOther],
+		r.DominantLMPRegion())
+	return b.String()
+}

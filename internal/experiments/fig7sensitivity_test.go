@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCorrelationSensitivityTrend(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.CorrelationSensitivity("P", []float64{0.4, 1.2}, 20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.TopN == 0 || row.MeanGain <= 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+	}
+	// The documented hypothesis: Procedure 3 gains power as the fair
+	// ratings spread out (the tight-cluster ramp degeneration fades).
+	if res.Rows[1].MeanGain < res.Rows[0].MeanGain-0.05 {
+		t.Errorf("mean gain did not improve with fair spread: σ0.4→%.3f, σ1.2→%.3f",
+			res.Rows[0].MeanGain, res.Rows[1].MeanGain)
+	}
+	if !strings.Contains(res.String(), "fair σ") {
+		t.Error("String missing table header")
+	}
+}
+
+func TestCorrelationSensitivityDefaults(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.CorrelationSensitivity("SA", nil, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("default sigma levels = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestCorrelationSensitivityUnknownScheme(t *testing.T) {
+	l := quickLab(t)
+	if _, err := l.CorrelationSensitivity("nope", []float64{0.5}, 5, 2, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestCorrelationJShape(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.CorrelationJShape("P", 0.3, 16, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.TopN != 3 || row.MeanGain <= 0 {
+		t.Errorf("degenerate J-shape row %+v", row)
+	}
+	if _, err := l.CorrelationJShape("nope", 0.3, 8, 2, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

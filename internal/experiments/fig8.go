@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HeadlineResult reproduces the Figure 8 / Section V-A headline: the
+// maximum MP achievable against each scheme across the whole submission
+// population, and the P-scheme's ratio to the undefended schemes ("about
+// 1/3" in the paper).
+type HeadlineResult struct {
+	// MaxMP maps scheme name to the strongest submission's overall MP.
+	MaxMP map[string]float64
+	// RatioPToSA and RatioPToBF compare the defenses.
+	RatioPToSA float64
+	RatioPToBF float64
+}
+
+// Fig8 computes the scheme-comparison headline over the population.
+func (l *Lab) Fig8() (*HeadlineResult, error) {
+	res := &HeadlineResult{MaxMP: make(map[string]float64, 3)}
+	for _, name := range []string{"SA", "BF", "P"} {
+		v, err := l.MaxOverallMP(name)
+		if err != nil {
+			return nil, err
+		}
+		res.MaxMP[name] = v
+	}
+	if res.MaxMP["SA"] > 0 {
+		res.RatioPToSA = res.MaxMP["P"] / res.MaxMP["SA"]
+	}
+	if res.MaxMP["BF"] > 0 {
+		res.RatioPToBF = res.MaxMP["P"] / res.MaxMP["BF"]
+	}
+	return res, nil
+}
+
+// String renders the headline rows.
+func (r *HeadlineResult) String() string {
+	var b strings.Builder
+	b.WriteString("Scheme comparison over the full submission population\n")
+	fmt.Fprintf(&b, "%-8s %10s\n", "scheme", "max MP")
+	for _, name := range []string{"SA", "BF", "P"} {
+		fmt.Fprintf(&b, "%-8s %10.4f\n", name, r.MaxMP[name])
+	}
+	fmt.Fprintf(&b, "P/SA ratio %.3f, P/BF ratio %.3f (paper: ≈1/3 of the other schemes)\n",
+		r.RatioPToSA, r.RatioPToBF)
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// IntervalSweepPoint is one controlled measurement: the same attack value
+// profile delivered at a different arrival rate.
+type IntervalSweepPoint struct {
+	DurationDays float64
+	Count        int
+	// Interval is duration/count — the x-axis of Figure 6.
+	Interval float64
+	// MP is the best of the trials at this arrival rate.
+	MP float64
+}
+
+// IntervalSweepResult is the controlled companion to Figure 6: instead of
+// binning the population scatter, the same strong attack is stretched over
+// a range of durations, exposing the interior arrival-rate optimum the
+// paper describes (too fast → the rate detectors catch it; too slow → the
+// per-month damage vanishes).
+type IntervalSweepResult struct {
+	Scheme string
+	Bias   float64
+	StdDev float64
+	Points []IntervalSweepPoint
+	// BestInterval is the interval with the highest MP.
+	BestInterval float64
+}
+
+// SweepCell is one (duration, count) pair to measure.
+type SweepCell struct {
+	DurationDays float64
+	Count        int
+}
+
+// DefaultSweepCells covers intervals from ≈0.1 to ≈14 days: the left flank
+// stretches the full rater pool over growing durations, the right flank
+// thins the rating count at maximum duration.
+func (l *Lab) DefaultSweepCells() []SweepCell {
+	full := l.Opts.Challenge.BiasedRaters
+	maxDur := l.Opts.Challenge.Fair.HorizonDays - 10
+	var cells []SweepCell
+	for _, dur := range []float64{5, 10, 20, 35, 50, 75, 100, maxDur} {
+		if dur > maxDur {
+			dur = maxDur
+		}
+		cells = append(cells, SweepCell{DurationDays: dur, Count: full})
+	}
+	for _, count := range []int{35, 25, 15, 10} {
+		cells = append(cells, SweepCell{DurationDays: maxDur, Count: count})
+	}
+	return cells
+}
+
+// IntervalSweep sweeps the unfair-rating arrival rate for a fixed value
+// profile under the named scheme, with trials random attacks per cell.
+// Pass nil cells for DefaultSweepCells.
+func (l *Lab) IntervalSweep(schemeName string, cells []SweepCell, trials int) (*IntervalSweepResult, error) {
+	scheme, err := l.Scheme(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		trials = 3
+	}
+	cfg := l.Opts.Challenge
+	horizon := cfg.Fair.HorizonDays
+	target := l.product1()
+	fairSeries := l.Challenge.FairSeries()
+
+	res := &IntervalSweepResult{
+		Scheme: schemeName,
+		Bias:   -3.5,
+		StdDev: 0.2,
+	}
+	if len(cells) == 0 {
+		cells = l.DefaultSweepCells()
+	}
+	bestMP := -1.0
+	evals := 0
+	seen := make(map[SweepCell]bool, len(cells))
+	for _, cell := range cells {
+		if cell.DurationDays >= horizon {
+			cell.DurationDays = horizon - 1
+		}
+		if cell.Count > cfg.BiasedRaters {
+			cell.Count = cfg.BiasedRaters
+		}
+		if cell.Count <= 0 || seen[cell] {
+			continue
+		}
+		seen[cell] = true
+		point := IntervalSweepPoint{
+			DurationDays: cell.DurationDays,
+			Count:        cell.Count,
+			Interval:     cell.DurationDays / float64(cell.Count),
+		}
+		for trial := 0; trial < trials; trial++ {
+			evals++
+			gen := core.NewGenerator(l.Opts.Seed^uint64(evals)*0x51_7eed, core.DefaultRaters(cfg.BiasedRaters))
+			start := (horizon - cell.DurationDays) / 2 // centered, so every duration fits
+			atk, err := gen.Generate(map[string]core.Profile{target: {
+				Bias: res.Bias, StdDev: res.StdDev, Count: cell.Count,
+				StartDay: start, DurationDays: cell.DurationDays,
+				Correlation: core.Independent, Quantize: true,
+			}}, fairSeries)
+			if err != nil {
+				return nil, err
+			}
+			mpRes, err := l.Challenge.Score(atk, scheme)
+			if err != nil {
+				return nil, err
+			}
+			if mpRes.Overall > point.MP {
+				point.MP = mpRes.Overall
+			}
+		}
+		res.Points = append(res.Points, point)
+		if point.MP > bestMP {
+			bestMP = point.MP
+			res.BestInterval = point.Interval
+		}
+	}
+	return res, nil
+}
+
+// String renders the sweep rows.
+func (r *IntervalSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Controlled interval sweep — %s-scheme (bias %.1f, σ %.1f)\n",
+		r.Scheme, r.Bias, r.StdDev)
+	fmt.Fprintf(&b, "%10s %7s %12s %10s\n", "duration", "count", "interval(d)", "best MP")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10.0f %7d %12.2f %10.4f\n", p.DurationDays, p.Count, p.Interval, p.MP)
+	}
+	fmt.Fprintf(&b, "best average rating interval ≈ %.2f days\n", r.BestInterval)
+	return b.String()
+}

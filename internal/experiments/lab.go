@@ -1,0 +1,128 @@
+// Package experiments contains one harness per figure of the paper's
+// evaluation (Figures 2–7, plus the Figure 8 generator headline). Each
+// harness builds its workload, runs the schemes, and returns the data
+// series the paper plots, formatted for the command-line tools, the root
+// benchmarks, and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/challenge"
+	"repro/internal/stats"
+)
+
+// Options sizes a Lab run.
+type Options struct {
+	// Seed drives every random choice in the lab.
+	Seed uint64
+	// Submissions is the participant population size (the challenge
+	// collected 251).
+	Submissions int
+	// Challenge overrides the challenge configuration (zero value =
+	// challenge.DefaultConfig()).
+	Challenge challenge.Config
+}
+
+// DefaultOptions reproduces the paper's scale: 251 submissions against the
+// 9-product challenge.
+func DefaultOptions() Options {
+	return Options{Seed: 42, Submissions: 251, Challenge: challenge.DefaultConfig()}
+}
+
+// QuickOptions is a reduced configuration for tests and smoke runs.
+func QuickOptions() Options {
+	cfg := challenge.DefaultConfig()
+	cfg.Fair.Products = 5
+	cfg.Fair.HorizonDays = 90
+	return Options{Seed: 42, Submissions: 40, Challenge: cfg}
+}
+
+// Lab is the shared experiment state: the challenge, the simulated
+// submission population, and per-scheme scores (computed lazily and cached,
+// since several figures share them).
+type Lab struct {
+	Opts        Options
+	Challenge   *challenge.Challenge
+	Submissions []challenge.Submission
+
+	schemes map[string]agg.Scheme
+	scored  map[string][]challenge.Scored
+}
+
+// NewLab builds the challenge and simulates the submission population.
+func NewLab(opts Options) (*Lab, error) {
+	if opts.Submissions <= 0 {
+		opts.Submissions = 251
+	}
+	if opts.Challenge.Fair.Products == 0 {
+		opts.Challenge = challenge.DefaultConfig()
+	}
+	c, err := challenge.New(opts.Challenge)
+	if err != nil {
+		return nil, fmt.Errorf("build challenge: %w", err)
+	}
+	subs, err := challenge.GeneratePopulation(stats.NewRNG(opts.Seed), c, opts.Submissions)
+	if err != nil {
+		return nil, fmt.Errorf("generate population: %w", err)
+	}
+	return &Lab{
+		Opts:        opts,
+		Challenge:   c,
+		Submissions: subs,
+		schemes: map[string]agg.Scheme{
+			"SA":       agg.SAScheme{},
+			"BF":       agg.NewBFScheme(),
+			"P":        agg.NewPScheme(),
+			"WBF":      agg.NewWhitbyScheme(),
+			"ENT":      agg.NewEntropyScheme(),
+			"CLU":      agg.NewClusteringScheme(),
+			"P-online": agg.NewOnlinePScheme(),
+		},
+		scored: make(map[string][]challenge.Scored),
+	}, nil
+}
+
+// Scheme returns the named aggregation scheme ("SA", "BF", "P").
+func (l *Lab) Scheme(name string) (agg.Scheme, error) {
+	s, ok := l.schemes[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+	return s, nil
+}
+
+// Scored returns (computing and caching on first use) every submission's MP
+// under the named scheme.
+func (l *Lab) Scored(schemeName string) ([]challenge.Scored, error) {
+	if sc, ok := l.scored[schemeName]; ok {
+		return sc, nil
+	}
+	scheme, err := l.Scheme(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := l.Challenge.ScoreAll(l.Submissions, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("score under %s: %w", schemeName, err)
+	}
+	l.scored[schemeName] = sc
+	return sc, nil
+}
+
+// MaxOverallMP returns the strongest submission's overall MP under the
+// named scheme.
+func (l *Lab) MaxOverallMP(schemeName string) (float64, error) {
+	sc, err := l.Scored(schemeName)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for _, s := range sc {
+		if s.MP.Overall > best {
+			best = s.MP.Overall
+		}
+	}
+	return best, nil
+}

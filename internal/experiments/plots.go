@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/challenge"
+	"repro/internal/plot"
+)
+
+// Plot renders the variance–bias scatter as ASCII art in the layout of the
+// paper's Figures 2–4: bias on the horizontal axis, standard deviation on
+// the vertical, with the strong submissions (AMP/LMP/UMP marks) drawn with
+// distinct glyphs.
+func (r *VarianceBiasResult) Plot() string {
+	p := plot.New(
+		fmt.Sprintf("Variance-bias plot — %s-scheme, product %s", r.Scheme, r.Product),
+		64, 16,
+	).Labels("bias", "stddev").XRange(-4, 1).YRange(0, 1.6)
+
+	var plain, amp, lmp, ump plot.Series
+	plain = plot.Series{Glyph: '·', Label: "submission"}
+	amp = plot.Series{Glyph: 'A', Label: "AMP (top-10 overall)"}
+	lmp = plot.Series{Glyph: 'L', Label: "LMP (top-10 downgrade)"}
+	ump = plot.Series{Glyph: 'U', Label: "UMP (top-10 boost)"}
+	for _, pt := range r.Points {
+		switch {
+		case pt.Marks.Has(challenge.MarkAMP):
+			amp.X = append(amp.X, pt.Bias)
+			amp.Y = append(amp.Y, pt.Spread)
+		case pt.Marks.Has(challenge.MarkLMP):
+			lmp.X = append(lmp.X, pt.Bias)
+			lmp.Y = append(lmp.Y, pt.Spread)
+		case pt.Marks.Has(challenge.MarkUMP):
+			ump.X = append(ump.X, pt.Bias)
+			ump.Y = append(ump.Y, pt.Spread)
+		default:
+			plain.X = append(plain.X, pt.Bias)
+			plain.Y = append(plain.Y, pt.Spread)
+		}
+	}
+	p.Add(plain).Add(lmp).Add(ump).Add(amp) // strong marks draw last (on top)
+	out, err := p.Render()
+	if err != nil {
+		return fmt.Sprintf("(no plot: %v)\n", err)
+	}
+	return out
+}
+
+// Plot renders the Figure 6 scatter: average unfair-rating interval against
+// the product MP.
+func (r *TimeDomainResult) Plot() string {
+	p := plot.New(
+		fmt.Sprintf("MP vs average rating interval — %s-scheme, product %s", r.Scheme, r.Product),
+		64, 14,
+	).Labels("interval (days)", "MP")
+	s := plot.Series{Glyph: '•'}
+	for _, pt := range r.Points {
+		s.X = append(s.X, pt.Interval)
+		s.Y = append(s.Y, pt.ProductMP)
+	}
+	p.Add(s)
+	out, err := p.Render()
+	if err != nil {
+		return fmt.Sprintf("(no plot: %v)\n", err)
+	}
+	return out
+}
+
+// Plot renders the controlled sweep as a curve of best MP per interval.
+func (r *IntervalSweepResult) Plot() string {
+	p := plot.New(
+		fmt.Sprintf("Controlled interval sweep — %s-scheme", r.Scheme),
+		64, 12,
+	).Labels("interval (days)", "best MP")
+	s := plot.Series{Glyph: 'o'}
+	for _, pt := range r.Points {
+		s.X = append(s.X, pt.Interval)
+		s.Y = append(s.Y, pt.MP)
+	}
+	p.Add(s)
+	out, err := p.Render()
+	if err != nil {
+		return fmt.Sprintf("(no plot: %v)\n", err)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Package mp implements the rating challenge's Manipulation Power metric
+// (Section III): for every product and every 30-day period, Δi is the
+// absolute difference between the aggregated rating with and without the
+// unfair ratings; a product's MP is the sum of its two largest Δ values, and
+// the overall MP is the sum over all products.
+package mp
+
+import (
+	"math"
+	"sort"
+)
+
+// ProductMP is the manipulation power achieved against one product.
+type ProductMP struct {
+	// Deltas holds Δi = |Rag_with(ti) − Rag_without(ti)| per period
+	// (NaN periods in either table are skipped and recorded as 0).
+	Deltas []float64
+	// Top2 is Δmax1 + Δmax2 (just Δmax1 when only one period exists).
+	Top2 float64
+}
+
+// Result is the manipulation power of one attack submission.
+type Result struct {
+	PerProduct map[string]ProductMP
+	// Overall is Σ_k (Δ_max1^k + Δ_max2^k) over all products.
+	Overall float64
+}
+
+// Product returns the MP gained from one product (0 when unknown).
+func (r Result) Product(id string) float64 {
+	return r.PerProduct[id].Top2
+}
+
+// Table is the per-product, per-period aggregate layout produced by the
+// aggregation schemes (mirrors agg.Table without importing it, so mp stays
+// a leaf package).
+type Table = map[string][]float64
+
+// Compute scores an attack: baseline holds the per-period aggregates of the
+// clean dataset, attacked those of the dataset with unfair ratings
+// injected. Products present in only one table are ignored.
+func Compute(baseline, attacked Table) Result {
+	res := Result{PerProduct: make(map[string]ProductMP, len(baseline))}
+	for id, base := range baseline {
+		atk, ok := attacked[id]
+		if !ok {
+			continue
+		}
+		n := len(base)
+		if len(atk) < n {
+			n = len(atk)
+		}
+		pm := ProductMP{Deltas: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			if math.IsNaN(base[i]) || math.IsNaN(atk[i]) {
+				continue
+			}
+			pm.Deltas[i] = math.Abs(atk[i] - base[i])
+		}
+		pm.Top2 = top2(pm.Deltas)
+		res.PerProduct[id] = pm
+		res.Overall += pm.Top2
+	}
+	return res
+}
+
+// top2 returns the sum of the two largest values (one value when len == 1,
+// 0 when empty). Negative inputs never occur (absolute differences).
+func top2(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)-1] + sorted[len(sorted)-2]
+}

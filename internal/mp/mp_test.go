@@ -1,0 +1,124 @@
+package mp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeBasic(t *testing.T) {
+	baseline := Table{"tv1": {4.0, 4.1, 4.0, 4.2}}
+	attacked := Table{"tv1": {4.0, 3.0, 3.5, 4.2}}
+	res := Compute(baseline, attacked)
+	pm := res.PerProduct["tv1"]
+	want := []float64{0, 1.1, 0.5, 0}
+	for i, d := range pm.Deltas {
+		if math.Abs(d-want[i]) > 1e-9 {
+			t.Errorf("delta[%d] = %v, want %v", i, d, want[i])
+		}
+	}
+	if math.Abs(pm.Top2-1.6) > 1e-9 {
+		t.Errorf("Top2 = %v, want 1.6", pm.Top2)
+	}
+	if math.Abs(res.Overall-1.6) > 1e-9 {
+		t.Errorf("Overall = %v, want 1.6", res.Overall)
+	}
+	if got := res.Product("tv1"); math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("Product(tv1) = %v", got)
+	}
+	if got := res.Product("missing"); got != 0 {
+		t.Errorf("Product(missing) = %v, want 0", got)
+	}
+}
+
+func TestComputeMultipleProducts(t *testing.T) {
+	baseline := Table{
+		"tv1": {4, 4},
+		"tv2": {4, 4},
+	}
+	attacked := Table{
+		"tv1": {3, 4},   // Δ = 1, 0 → Top2 = 1
+		"tv2": {3.5, 3}, // Δ = 0.5, 1 → Top2 = 1.5
+	}
+	res := Compute(baseline, attacked)
+	if math.Abs(res.Overall-2.5) > 1e-9 {
+		t.Errorf("Overall = %v, want 2.5", res.Overall)
+	}
+}
+
+func TestComputeNaNPeriodsSkipped(t *testing.T) {
+	baseline := Table{"tv1": {math.NaN(), 4.0}}
+	attacked := Table{"tv1": {1.0, math.NaN()}}
+	res := Compute(baseline, attacked)
+	if res.Overall != 0 {
+		t.Errorf("Overall = %v, want 0 (all periods NaN on one side)", res.Overall)
+	}
+}
+
+func TestComputeMismatchedProducts(t *testing.T) {
+	baseline := Table{"tv1": {4}, "tv9": {4}}
+	attacked := Table{"tv1": {3}}
+	res := Compute(baseline, attacked)
+	if len(res.PerProduct) != 1 {
+		t.Errorf("PerProduct = %v, want only tv1", res.PerProduct)
+	}
+	if math.Abs(res.Overall-1) > 1e-9 {
+		t.Errorf("Overall = %v, want 1", res.Overall)
+	}
+}
+
+func TestComputeMismatchedPeriodCounts(t *testing.T) {
+	baseline := Table{"tv1": {4, 4, 4}}
+	attacked := Table{"tv1": {3, 4}}
+	res := Compute(baseline, attacked)
+	if got := len(res.PerProduct["tv1"].Deltas); got != 2 {
+		t.Errorf("deltas = %d, want 2 (shorter table)", got)
+	}
+}
+
+func TestTop2(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0.7}, 0.7},
+		{[]float64{0.1, 0.9, 0.5}, 1.4},
+		{[]float64{1, 1, 1}, 2},
+	}
+	for _, tt := range tests {
+		if got := top2(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("top2(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+// Property: MP is zero when attacked == baseline, and non-negative always.
+func TestComputeIdentityAndNonNegativityProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		baseline := Table{"p": clean}
+		same := Compute(baseline, Table{"p": clean})
+		if same.Overall != 0 {
+			return false
+		}
+		// Perturb one period: MP must be ≥ 0.
+		if len(clean) > 0 {
+			perturbed := make([]float64, len(clean))
+			copy(perturbed, clean)
+			perturbed[0] += 1
+			res := Compute(baseline, Table{"p": perturbed})
+			return res.Overall >= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

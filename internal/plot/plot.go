@@ -1,0 +1,192 @@
+// Package plot renders small ASCII scatter and line plots for the
+// command-line tools: the variance–bias figures, the indicator curves and
+// the MP-vs-interval series can be eyeballed directly in a terminal, the
+// way the paper presents them as figures.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrEmptyPlot indicates rendering with no plottable points.
+var ErrEmptyPlot = errors.New("plot: nothing to draw")
+
+// Series is one glyph's worth of points.
+type Series struct {
+	Glyph rune
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Plot is an ASCII canvas with auto-scaled axes. The zero value is not
+// usable; construct with New.
+type Plot struct {
+	width  int
+	height int
+	title  string
+	xlabel string
+	ylabel string
+	series []Series
+
+	// Optional fixed bounds; NaN means auto.
+	xmin, xmax, ymin, ymax float64
+}
+
+// New returns a plot with the given canvas size (columns × rows of the
+// drawing area, excluding axes). Sizes are clamped to at least 16×8.
+func New(title string, width, height int) *Plot {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	return &Plot{
+		title: title, width: width, height: height,
+		xmin: math.NaN(), xmax: math.NaN(), ymin: math.NaN(), ymax: math.NaN(),
+	}
+}
+
+// Labels sets the axis labels.
+func (p *Plot) Labels(x, y string) *Plot {
+	p.xlabel, p.ylabel = x, y
+	return p
+}
+
+// XRange fixes the horizontal bounds (otherwise auto-scaled to the data).
+func (p *Plot) XRange(lo, hi float64) *Plot {
+	p.xmin, p.xmax = lo, hi
+	return p
+}
+
+// YRange fixes the vertical bounds.
+func (p *Plot) YRange(lo, hi float64) *Plot {
+	p.ymin, p.ymax = lo, hi
+	return p
+}
+
+// Add appends a series. Points with NaN/Inf coordinates are skipped at
+// render time.
+func (p *Plot) Add(s Series) *Plot {
+	p.series = append(p.series, s)
+	return p
+}
+
+// Render draws the canvas.
+func (p *Plot) Render() (string, error) {
+	xmin, xmax, ymin, ymax, any := p.bounds()
+	if !any {
+		return "", ErrEmptyPlot
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, p.height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", p.width))
+	}
+	for _, s := range p.series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '•'
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(p.width-1)))
+			row := int(math.Round((ymax - y) / (ymax - ymin) * float64(p.height-1)))
+			if col < 0 || col >= p.width || row < 0 || row >= p.height {
+				continue
+			}
+			grid[row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	if p.title != "" {
+		fmt.Fprintf(&b, "%s\n", p.title)
+	}
+	for r, rowRunes := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%9.3g ┤%s\n", ymax, string(rowRunes))
+		case p.height - 1:
+			fmt.Fprintf(&b, "%9.3g ┤%s\n", ymin, string(rowRunes))
+		default:
+			fmt.Fprintf(&b, "%9s │%s\n", "", string(rowRunes))
+		}
+	}
+	fmt.Fprintf(&b, "%9s └%s\n", "", strings.Repeat("─", p.width))
+	fmt.Fprintf(&b, "%10s %-.3g%s%.3g\n", "",
+		xmin, strings.Repeat(" ", maxInt(1, p.width-12)), xmax)
+	if p.xlabel != "" || p.ylabel != "" {
+		fmt.Fprintf(&b, "%10s x: %s, y: %s\n", "", p.xlabel, p.ylabel)
+	}
+	var legend []string
+	for _, s := range p.series {
+		if s.Label == "" {
+			continue
+		}
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '•'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", glyph, s.Label))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%10s %s\n", "", strings.Join(legend, "   "))
+	}
+	return b.String(), nil
+}
+
+// bounds computes the effective data window.
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64, any bool) {
+	xmin, xmax = p.xmin, p.xmax
+	ymin, ymax = p.ymin, p.ymax
+	autoX := math.IsNaN(xmin) || math.IsNaN(xmax)
+	autoY := math.IsNaN(ymin) || math.IsNaN(ymax)
+	if autoX {
+		xmin, xmax = math.Inf(1), math.Inf(-1)
+	}
+	if autoY {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			any = true
+			if autoX {
+				xmin = math.Min(xmin, x)
+				xmax = math.Max(xmax, x)
+			}
+			if autoY {
+				ymin = math.Min(ymin, y)
+				ymax = math.Max(ymax, y)
+			}
+		}
+	}
+	return xmin, xmax, ymin, ymax, any
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

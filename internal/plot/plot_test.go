@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	p := New("empty", 20, 8)
+	if _, err := p.Render(); !errors.Is(err, ErrEmptyPlot) {
+		t.Errorf("Render(empty) = %v", err)
+	}
+	// All-NaN series count as empty too.
+	p.Add(Series{X: []float64{math.NaN()}, Y: []float64{1}})
+	if _, err := p.Render(); !errors.Is(err, ErrEmptyPlot) {
+		t.Errorf("Render(NaN-only) = %v", err)
+	}
+}
+
+func TestRenderScatter(t *testing.T) {
+	p := New("demo", 30, 10).Labels("bias", "sigma")
+	p.Add(Series{Glyph: 'x', Label: "strong", X: []float64{-3, -2, -1}, Y: []float64{0.2, 1.0, 1.8}})
+	p.Add(Series{Glyph: 'o', Label: "weak", X: []float64{-0.5}, Y: []float64{0.5}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if strings.Count(out, "x") < 3 {
+		t.Errorf("missing scatter glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "o ") {
+		t.Errorf("missing second glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "x: bias, y: sigma") {
+		t.Error("missing axis labels")
+	}
+	if !strings.Contains(out, "x strong") || !strings.Contains(out, "o weak") {
+		t.Error("missing legend")
+	}
+}
+
+func TestRenderCornersLandOnEdges(t *testing.T) {
+	p := New("", 20, 8)
+	p.Add(Series{Glyph: '#', X: []float64{0, 10}, Y: []float64{0, 5}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// First canvas row holds the max-Y point at the right edge.
+	if !strings.HasSuffix(lines[0], "#") {
+		t.Errorf("top-right corner missing:\n%s", out)
+	}
+	// Last canvas row (before the axis) holds the min point at the left.
+	axis := len(lines) - 2
+	if !strings.Contains(lines[axis-1], "┤#") {
+		t.Errorf("bottom-left corner missing:\n%s", out)
+	}
+}
+
+func TestFixedRangesClipOutliers(t *testing.T) {
+	p := New("", 20, 8).XRange(0, 1).YRange(0, 1)
+	p.Add(Series{Glyph: '*', X: []float64{0.5, 50}, Y: []float64{0.5, 50}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") != 1 {
+		t.Errorf("outlier not clipped:\n%s", out)
+	}
+}
+
+func TestDegenerateRangeExpands(t *testing.T) {
+	p := New("", 20, 8)
+	p.Add(Series{X: []float64{2, 2}, Y: []float64{3, 3}})
+	if _, err := p.Render(); err != nil {
+		t.Fatalf("constant data failed: %v", err)
+	}
+}
+
+func TestMinimumCanvasSize(t *testing.T) {
+	p := New("", 1, 1)
+	p.Add(Series{X: []float64{0, 1}, Y: []float64{0, 1}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Errorf("canvas not clamped to minimum:\n%s", out)
+	}
+}
+
+func TestDefaultGlyph(t *testing.T) {
+	p := New("", 20, 8)
+	p.Add(Series{X: []float64{1}, Y: []float64{1}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "•") {
+		t.Error("default glyph missing")
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler exposes the service over HTTP:
+//
+//	POST /ratings                  {"product","rater","value","day"}
+//	GET  /products                 list product IDs
+//	GET  /products/{id}/scores     per-period aggregates
+//	GET  /products/{id}/report     defense report (ratings, marks, scores)
+//	GET  /raters/{id}/trust        current beta trust
+//
+// All responses are JSON. Errors map to 400 (bad input), 404 (unknown
+// product) and 409 (duplicate rating).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ratings", s.handleSubmit)
+	mux.HandleFunc("GET /products", s.handleProducts)
+	mux.HandleFunc("GET /products/{id}/scores", s.handleScores)
+	mux.HandleFunc("GET /products/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /raters/{id}/trust", s.handleTrust)
+	return mux
+}
+
+// SubmitRequest is the POST /ratings payload.
+type SubmitRequest struct {
+	Product string  `json:"product"`
+	Rater   string  `json:"rater"`
+	Value   float64 `json:"value"`
+	Day     float64 `json:"day"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := s.Submit(req.Product, req.Rater, req.Value, req.Day); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]string{"status": "accepted"})
+}
+
+func (s *Service) handleProducts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Products())
+}
+
+func (s *Service) handleScores(w http.ResponseWriter, r *http.Request) {
+	scores, err := s.Scores(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, sanitizeNaN(scores))
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Inspect(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	rep.Scores = sanitizeNaN(rep.Scores)
+	writeJSON(w, rep)
+}
+
+func (s *Service) handleTrust(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]float64{"trust": s.Trust(r.PathValue("id"))})
+}
+
+// sanitizeNaN replaces NaN (periods without ratings) with -1, which JSON
+// can carry.
+func sanitizeNaN(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	for i, v := range scores {
+		if v != v { // NaN
+			out[i] = -1
+			continue
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownProduct):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicateRating):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding errors after headers are sent can only be logged by the
+	// caller's middleware; the payloads here are always encodable.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

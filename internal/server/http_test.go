@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/agg"
+)
+
+func newTestServer(t *testing.T, scheme agg.Scheme) *httptest.Server {
+	t.Helper()
+	svc, err := New(scheme, 90, []string{"tv1", "tv2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postRating(t *testing.T, ts *httptest.Server, req SubmitRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/ratings", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHTTPSubmitAndScores(t *testing.T) {
+	ts := newTestServer(t, agg.SAScheme{})
+	resp := postRating(t, ts, SubmitRequest{Product: "tv1", Rater: "alice", Value: 4.5, Day: 3})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/products/tv1/scores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("scores status = %d", r.StatusCode)
+	}
+	var scores []float64
+	if err := json.NewDecoder(r.Body).Decode(&scores); err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 || scores[0] != 4.5 {
+		t.Errorf("scores = %v", scores)
+	}
+	// Empty periods surface as −1, not NaN (JSON-safe).
+	if scores[1] != -1 || scores[2] != -1 {
+		t.Errorf("empty periods = %v, want -1", scores[1:])
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	ts := newTestServer(t, agg.SAScheme{})
+	// Bad value → 400.
+	if resp := postRating(t, ts, SubmitRequest{Product: "tv1", Rater: "a", Value: 11, Day: 1}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad value status = %d", resp.StatusCode)
+	}
+	// Unknown product → 404.
+	if resp := postRating(t, ts, SubmitRequest{Product: "tvX", Rater: "a", Value: 4, Day: 1}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown product status = %d", resp.StatusCode)
+	}
+	// Duplicate → 409.
+	postRating(t, ts, SubmitRequest{Product: "tv1", Rater: "dup", Value: 4, Day: 1})
+	if resp := postRating(t, ts, SubmitRequest{Product: "tv1", Rater: "dup", Value: 4, Day: 2}); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate status = %d", resp.StatusCode)
+	}
+	// Malformed body → 400.
+	resp, err := http.Post(ts.URL+"/ratings", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", resp.StatusCode)
+	}
+	var errBody errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil || errBody.Error == "" {
+		t.Errorf("error body = %+v, %v", errBody, err)
+	}
+}
+
+func TestHTTPProductsAndTrust(t *testing.T) {
+	ts := newTestServer(t, agg.SAScheme{})
+	r, err := http.Get(ts.URL + "/products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var ids []string
+	if err := json.NewDecoder(r.Body).Decode(&ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Errorf("products = %v", ids)
+	}
+	r2, err := http.Get(ts.URL + "/raters/unknown/trust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var tr map[string]float64
+	if err := json.NewDecoder(r2.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr["trust"] != 0.5 {
+		t.Errorf("trust = %v", tr)
+	}
+}
+
+func TestHTTPReportUnderAttack(t *testing.T) {
+	ts := newTestServer(t, agg.NewPScheme())
+	// Build an honest history then a live attack.
+	for i := 0; i < 120; i++ {
+		day := float64(i) * 0.7
+		if day >= 90 {
+			break
+		}
+		resp := postRating(t, ts, SubmitRequest{
+			Product: "tv1", Rater: fmt.Sprintf("h%03d", i), Value: 4, Day: day,
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("seed submit status = %d", resp.StatusCode)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		resp := postRating(t, ts, SubmitRequest{
+			Product: "tv1", Rater: fmt.Sprintf("evil%02d", i), Value: 0.5, Day: 45 + float64(i)*0.25,
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("attack submit status = %d", resp.StatusCode)
+		}
+	}
+	r, err := http.Get(ts.URL + "/products/tv1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ratings < 150 {
+		t.Errorf("report ratings = %d", rep.Ratings)
+	}
+	if !rep.HasSuspicious || rep.Suspicious == 0 {
+		t.Errorf("attack not visible in report: %+v", rep)
+	}
+	// 404 for unknown product.
+	r2, err := http.Get(ts.URL + "/products/none/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown report status = %d", r2.StatusCode)
+	}
+}

@@ -1,0 +1,216 @@
+// Package server wraps the reliable rating aggregation system in an online
+// service: ratings are submitted as they happen, aggregates are recomputed
+// lazily under a pluggable defense scheme, and the P-scheme's suspicious
+// marks and rater trust are inspectable — the deployment shape a production
+// rating system (the paper's motivating setting) would use.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/internal/dataset"
+)
+
+// Errors returned by the rating service.
+var (
+	// ErrUnknownProduct indicates a rating or query for an unregistered
+	// product.
+	ErrUnknownProduct = errors.New("server: unknown product")
+	// ErrBadRating indicates an out-of-range value or day.
+	ErrBadRating = errors.New("server: bad rating")
+	// ErrDuplicateRating indicates a rater rating the same product twice
+	// (the one-rating-per-rater-per-object rule of Eq. 7).
+	ErrDuplicateRating = errors.New("server: duplicate rating")
+)
+
+// Service is a thread-safe online rating system. The zero value is not
+// usable; construct with New.
+type Service struct {
+	mu      sync.RWMutex
+	data    *dataset.Dataset
+	scheme  agg.Scheme
+	seen    map[string]map[string]bool // product → rater → rated?
+	dirty   bool
+	cached  agg.Table
+	pResult *agg.Result // set when scheme is the P-scheme
+}
+
+// New creates a service for the given products, aggregating with scheme
+// over a horizon of horizonDays.
+func New(scheme agg.Scheme, horizonDays float64, products []string) (*Service, error) {
+	if scheme == nil {
+		return nil, errors.New("server: nil scheme")
+	}
+	if horizonDays <= 0 {
+		return nil, fmt.Errorf("server: horizon %v", horizonDays)
+	}
+	if len(products) == 0 {
+		return nil, errors.New("server: no products")
+	}
+	d := &dataset.Dataset{HorizonDays: horizonDays}
+	seen := make(map[string]map[string]bool, len(products))
+	for _, id := range products {
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("server: duplicate product %q", id)
+		}
+		d.Products = append(d.Products, dataset.Product{ID: id})
+		seen[id] = make(map[string]bool)
+	}
+	return &Service{data: d, scheme: scheme, seen: seen, dirty: true}, nil
+}
+
+// Load seeds the service with an existing dataset (e.g. history read from
+// disk), replacing all current ratings.
+func (s *Service) Load(d *dataset.Dataset) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]map[string]bool, len(d.Products))
+	for _, p := range d.Products {
+		m := make(map[string]bool, len(p.Ratings))
+		for _, r := range p.Ratings {
+			if m[r.Rater] {
+				return fmt.Errorf("%w: rater %q on %q", ErrDuplicateRating, r.Rater, p.ID)
+			}
+			m[r.Rater] = true
+		}
+		seen[p.ID] = m
+	}
+	s.data = d.Clone()
+	s.seen = seen
+	s.dirty = true
+	return nil
+}
+
+// Submit records one rating. The ground-truth Unfair flag of incoming
+// ratings is ignored — a live system has no oracle.
+func (s *Service) Submit(product, rater string, value, day float64) error {
+	if value < dataset.MinValue || value > dataset.MaxValue {
+		return fmt.Errorf("%w: value %v", ErrBadRating, value)
+	}
+	if rater == "" {
+		return fmt.Errorf("%w: empty rater", ErrBadRating)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if day < 0 || day >= s.data.HorizonDays {
+		return fmt.Errorf("%w: day %v outside [0,%v)", ErrBadRating, day, s.data.HorizonDays)
+	}
+	p, err := s.data.Product(product)
+	if err != nil {
+		return fmt.Errorf("%w: %q", ErrUnknownProduct, product)
+	}
+	raters, ok := s.seen[product]
+	if !ok {
+		raters = make(map[string]bool)
+		s.seen[product] = raters
+	}
+	if raters[rater] {
+		return fmt.Errorf("%w: rater %q on %q", ErrDuplicateRating, rater, product)
+	}
+	raters[rater] = true
+	p.Ratings = p.Ratings.Merge(dataset.Series{{Day: day, Value: value, Rater: rater}})
+	s.dirty = true
+	return nil
+}
+
+// Products returns the registered product IDs.
+func (s *Service) Products() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data.ProductIDs()
+}
+
+// RatingCount returns the number of ratings recorded for the product.
+func (s *Service) RatingCount(product string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, err := s.data.Product(product)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
+	}
+	return len(p.Ratings), nil
+}
+
+// Scores returns the product's per-period aggregated ratings under the
+// service's scheme, recomputing if ratings arrived since the last call.
+func (s *Service) Scores(product string) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.data.Product(product); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
+	}
+	s.refreshLocked()
+	scores := s.cached[product]
+	out := make([]float64, len(scores))
+	copy(out, scores)
+	return out, nil
+}
+
+// Report is the defense-side view of one product.
+type Report struct {
+	Product string    `json:"product"`
+	Ratings int       `json:"ratings"`
+	Scores  []float64 `json:"scores"`
+	// Suspicious counts the ratings the P-scheme marked (0 and false for
+	// other schemes).
+	Suspicious    int  `json:"suspicious"`
+	HasSuspicious bool `json:"hasSuspicious"`
+}
+
+// Inspect returns the defense report for a product. Suspicious-mark data
+// is only available when the service runs the P-scheme.
+func (s *Service) Inspect(product string) (Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.data.Product(product)
+	if err != nil {
+		return Report{}, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
+	}
+	s.refreshLocked()
+	rep := Report{
+		Product: product,
+		Ratings: len(p.Ratings),
+		Scores:  append([]float64(nil), s.cached[product]...),
+	}
+	if s.pResult != nil {
+		rep.HasSuspicious = true
+		for _, m := range s.pResult.Suspicious[product] {
+			if m {
+				rep.Suspicious++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Trust returns the current trust in a rater (0.5 for unknown raters, and
+// always 0.5 when the scheme is not the P-scheme).
+func (s *Service) Trust(rater string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	if s.pResult == nil {
+		return 0.5
+	}
+	return s.pResult.Trust.Trust(rater)
+}
+
+// refreshLocked recomputes aggregates if ratings arrived. Callers must hold
+// the write lock.
+func (s *Service) refreshLocked() {
+	if !s.dirty {
+		return
+	}
+	if p, ok := s.scheme.(*agg.PScheme); ok {
+		res := p.Evaluate(s.data)
+		s.cached = res.Table
+		s.pResult = res
+	} else {
+		s.cached = s.scheme.Aggregates(s.data)
+		s.pResult = nil
+	}
+	s.dirty = false
+}

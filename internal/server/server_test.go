@@ -1,0 +1,238 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func newService(t *testing.T, scheme agg.Scheme) *Service {
+	t.Helper()
+	s, err := New(scheme, 90, []string{"tv1", "tv2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 90, []string{"a"}); err == nil {
+		t.Error("nil scheme accepted")
+	}
+	if _, err := New(agg.SAScheme{}, 0, []string{"a"}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := New(agg.SAScheme{}, 90, nil); err == nil {
+		t.Error("no products accepted")
+	}
+	if _, err := New(agg.SAScheme{}, 90, []string{"a", "a"}); err == nil {
+		t.Error("duplicate product accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newService(t, agg.SAScheme{})
+	if err := s.Submit("tv1", "r1", 4, 10); err != nil {
+		t.Fatalf("valid rating rejected: %v", err)
+	}
+	if err := s.Submit("tv1", "r1", 3, 11); !errors.Is(err, ErrDuplicateRating) {
+		t.Errorf("duplicate = %v", err)
+	}
+	if err := s.Submit("tv9", "r2", 4, 10); !errors.Is(err, ErrUnknownProduct) {
+		t.Errorf("unknown product = %v", err)
+	}
+	if err := s.Submit("tv1", "r2", 9, 10); !errors.Is(err, ErrBadRating) {
+		t.Errorf("bad value = %v", err)
+	}
+	if err := s.Submit("tv1", "r2", 4, -1); !errors.Is(err, ErrBadRating) {
+		t.Errorf("bad day = %v", err)
+	}
+	if err := s.Submit("tv1", "r2", 4, 90); !errors.Is(err, ErrBadRating) {
+		t.Errorf("day at horizon = %v", err)
+	}
+	if err := s.Submit("tv1", "", 4, 10); !errors.Is(err, ErrBadRating) {
+		t.Errorf("empty rater = %v", err)
+	}
+}
+
+func TestScoresTrackSubmissions(t *testing.T) {
+	s := newService(t, agg.SAScheme{})
+	for i := 0; i < 10; i++ {
+		if err := s.Submit("tv1", fmt.Sprintf("r%d", i), 4, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scores, err := s.Scores("tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("periods = %d", len(scores))
+	}
+	if scores[0] != 4 {
+		t.Errorf("period 0 = %v, want 4", scores[0])
+	}
+	if !math.IsNaN(scores[1]) || !math.IsNaN(scores[2]) {
+		t.Errorf("empty periods = %v, want NaN", scores[1:])
+	}
+	// A new rating invalidates the cache.
+	if err := s.Submit("tv1", "late", 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	scores, err = s.Scores("tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[1] != 2 {
+		t.Errorf("period 1 after update = %v, want 2", scores[1])
+	}
+	if _, err := s.Scores("nope"); !errors.Is(err, ErrUnknownProduct) {
+		t.Errorf("unknown product = %v", err)
+	}
+}
+
+func TestRatingCountAndProducts(t *testing.T) {
+	s := newService(t, agg.SAScheme{})
+	ids := s.Products()
+	if len(ids) != 2 || ids[0] != "tv1" {
+		t.Errorf("Products = %v", ids)
+	}
+	if err := s.Submit("tv2", "a", 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.RatingCount("tv2")
+	if err != nil || n != 1 {
+		t.Errorf("RatingCount = %d, %v", n, err)
+	}
+	if _, err := s.RatingCount("nope"); !errors.Is(err, ErrUnknownProduct) {
+		t.Errorf("unknown product = %v", err)
+	}
+}
+
+func TestLoadSeedsHistory(t *testing.T) {
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 2
+	cfg.HorizonDays = 90
+	d, err := dataset.GenerateFair(stats.NewRNG(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newService(t, agg.SAScheme{})
+	if err := s.Load(d); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.RatingCount("tv1")
+	if err != nil || n == 0 {
+		t.Fatalf("RatingCount after Load = %d, %v", n, err)
+	}
+	scores, err := s.Scores("tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] < 3 || scores[0] > 5 {
+		t.Errorf("loaded period 0 score = %v", scores[0])
+	}
+	// Duplicate raters in the loaded data are rejected.
+	bad := d.Clone()
+	p, _ := bad.Product("tv1")
+	p.Ratings = append(p.Ratings, p.Ratings[0])
+	if err := s.Load(bad); !errors.Is(err, ErrDuplicateRating) {
+		t.Errorf("Load(dup) = %v", err)
+	}
+}
+
+func TestPSchemeInspection(t *testing.T) {
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 2
+	cfg.HorizonDays = 90
+	d, err := dataset.GenerateFair(stats.NewRNG(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newService(t, agg.NewPScheme())
+	if err := s.Load(d); err != nil {
+		t.Fatal(err)
+	}
+	// Attack tv1 live: 50 low ratings in 15 days.
+	for i := 0; i < 50; i++ {
+		day := 40 + float64(i)*0.3
+		if err := s.Submit("tv1", fmt.Sprintf("evil%02d", i), 0.5, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Inspect("tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasSuspicious {
+		t.Fatal("P-scheme report missing suspicious data")
+	}
+	if rep.Suspicious < 25 {
+		t.Errorf("suspicious = %d, want most of the 50 attack ratings", rep.Suspicious)
+	}
+	// Attackers lose trust; a rater with clean history keeps ≥ 0.5.
+	if tr := s.Trust("evil00"); tr >= 0.5 {
+		t.Errorf("attacker trust = %v, want < 0.5", tr)
+	}
+	if tr := s.Trust("stranger"); tr != 0.5 {
+		t.Errorf("unknown rater trust = %v, want 0.5", tr)
+	}
+	if _, err := s.Inspect("nope"); !errors.Is(err, ErrUnknownProduct) {
+		t.Errorf("unknown product = %v", err)
+	}
+}
+
+func TestInspectWithoutPScheme(t *testing.T) {
+	s := newService(t, agg.SAScheme{})
+	if err := s.Submit("tv1", "a", 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Inspect("tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasSuspicious || rep.Suspicious != 0 {
+		t.Errorf("SA report claims suspicious data: %+v", rep)
+	}
+	if got := s.Trust("a"); got != 0.5 {
+		t.Errorf("SA trust = %v, want 0.5", got)
+	}
+}
+
+func TestConcurrentSubmitAndRead(t *testing.T) {
+	s := newService(t, agg.SAScheme{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				rater := fmt.Sprintf("g%dr%d", g, i)
+				if err := s.Submit("tv1", rater, 4, float64(i)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := s.Scores("tv1"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, err := s.RatingCount("tv1")
+	if err != nil || n != 64 {
+		t.Fatalf("RatingCount = %d, %v", n, err)
+	}
+}

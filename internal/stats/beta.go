@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Beta is a beta distribution with shape parameters Alpha and Beta — the
+// distribution underlying the beta reputation system (Jøsang & Ismail) and
+// the Whitby-style quantile filter.
+type Beta struct {
+	Alpha float64
+	Beta  float64
+}
+
+// NewBeta constructs a Beta distribution; both parameters must be positive.
+func NewBeta(alpha, beta float64) (Beta, error) {
+	if alpha <= 0 || beta <= 0 || math.IsNaN(alpha) || math.IsNaN(beta) {
+		return Beta{}, fmt.Errorf("beta(%v,%v): %w", alpha, beta, ErrBadParameter)
+	}
+	return Beta{Alpha: alpha, Beta: beta}, nil
+}
+
+// Mean returns α/(α+β).
+func (b Beta) Mean() float64 {
+	return b.Alpha / (b.Alpha + b.Beta)
+}
+
+// Variance returns αβ/((α+β)²(α+β+1)).
+func (b Beta) Variance() float64 {
+	s := b.Alpha + b.Beta
+	return b.Alpha * b.Beta / (s * s * (s + 1))
+}
+
+// LogPDF returns the log density at x ∈ (0,1).
+func (b Beta) LogPDF(x float64) float64 {
+	if x <= 0 || x >= 1 {
+		return math.Inf(-1)
+	}
+	return (b.Alpha-1)*math.Log(x) + (b.Beta-1)*math.Log(1-x) - logBetaFunc(b.Alpha, b.Beta)
+}
+
+// PDF returns the density at x.
+func (b Beta) PDF(x float64) float64 {
+	return math.Exp(b.LogPDF(x))
+}
+
+// CDF returns P(X ≤ x), the regularized incomplete beta function I_x(α, β).
+func (b Beta) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	return regIncBeta(b.Alpha, b.Beta, x)
+}
+
+// Quantile returns the q-quantile by bisection on the CDF (the CDF is
+// continuous and strictly increasing on (0,1)).
+func (b Beta) Quantile(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if b.CDF(mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// logBetaFunc returns ln B(a, b) = lnΓ(a) + lnΓ(b) − lnΓ(a+b).
+func logBetaFunc(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// with the continued-fraction expansion (Numerical Recipes 6.4).
+func regIncBeta(a, b, x float64) float64 {
+	// Symmetry transform for faster convergence.
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-logBetaFunc(a, b)) / a
+	// Lentz's algorithm for the continued fraction.
+	const tiny = 1e-30
+	f, c, d := 1.0, 1.0, 0.0
+	for m := 0; m <= 300; m++ {
+		var numerator float64
+		switch {
+		case m == 0:
+			numerator = 1
+		case m%2 == 0:
+			k := float64(m / 2)
+			numerator = k * (b - k) * x / ((a + 2*k - 1) * (a + 2*k))
+		default:
+			k := float64((m - 1) / 2)
+			numerator = -(a + k) * (a + b + k) * x / ((a + 2*k) * (a + 2*k + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < 1e-12 {
+			break
+		}
+	}
+	return Clamp(front*(f-1), 0, 1)
+}

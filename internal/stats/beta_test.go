@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBetaValidation(t *testing.T) {
+	if _, err := NewBeta(0, 1); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewBeta(1, -1); err == nil {
+		t.Error("beta<0 accepted")
+	}
+	if _, err := NewBeta(math.NaN(), 1); err == nil {
+		t.Error("NaN accepted")
+	}
+	b, err := NewBeta(2, 3)
+	if err != nil || b.Alpha != 2 || b.Beta != 3 {
+		t.Errorf("NewBeta = %+v, %v", b, err)
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	b := Beta{Alpha: 2, Beta: 3}
+	if got := b.Mean(); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("Mean = %v, want 0.4", got)
+	}
+	if got := b.Variance(); !almostEqual(got, 0.04, 1e-12) {
+		t.Errorf("Variance = %v, want 0.04", got)
+	}
+}
+
+func TestBetaUniformSpecialCase(t *testing.T) {
+	// Beta(1,1) is the uniform distribution.
+	b := Beta{Alpha: 1, Beta: 1}
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := b.CDF(x); !almostEqual(got, x, 1e-9) {
+			t.Errorf("uniform CDF(%v) = %v", x, got)
+		}
+		if got := b.PDF(x); !almostEqual(got, 1, 1e-9) {
+			t.Errorf("uniform PDF(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestBetaCDFKnownValues(t *testing.T) {
+	// Beta(2,2): CDF(x) = 3x² − 2x³.
+	b := Beta{Alpha: 2, Beta: 2}
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		want := 3*x*x - 2*x*x*x
+		if got := b.CDF(x); !almostEqual(got, want, 1e-9) {
+			t.Errorf("Beta(2,2) CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Beta(5,1): CDF(x) = x⁵.
+	b = Beta{Alpha: 5, Beta: 1}
+	if got := b.CDF(0.8); !almostEqual(got, math.Pow(0.8, 5), 1e-9) {
+		t.Errorf("Beta(5,1) CDF(0.8) = %v", got)
+	}
+}
+
+func TestBetaCDFBounds(t *testing.T) {
+	b := Beta{Alpha: 3, Beta: 7}
+	if b.CDF(-0.5) != 0 || b.CDF(0) != 0 {
+		t.Error("CDF below support not 0")
+	}
+	if b.CDF(1) != 1 || b.CDF(2) != 1 {
+		t.Error("CDF above support not 1")
+	}
+	if b.PDF(0) != 0 || b.PDF(1) != 0 {
+		t.Error("PDF outside open support not 0")
+	}
+}
+
+func TestBetaQuantileInvertsCDF(t *testing.T) {
+	b := Beta{Alpha: 2.5, Beta: 6}
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := b.Quantile(q)
+		if got := b.CDF(x); !almostEqual(got, q, 1e-6) {
+			t.Errorf("CDF(Quantile(%v)) = %v", q, got)
+		}
+	}
+	if b.Quantile(0) != 0 || b.Quantile(1) != 1 {
+		t.Error("extreme quantiles wrong")
+	}
+}
+
+func TestBetaPDFIntegratesToOne(t *testing.T) {
+	b := Beta{Alpha: 3, Beta: 2}
+	const n = 2000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := (float64(i) + 0.5) / n
+		sum += b.PDF(x) / n
+	}
+	if !almostEqual(sum, 1, 1e-3) {
+		t.Errorf("PDF integral = %v", sum)
+	}
+}
+
+// Property: CDF is monotone and within [0,1] for random parameters.
+func TestBetaCDFMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := 0.5 + float64(aRaw%40)/4
+		bb := 0.5 + float64(bRaw%40)/4
+		dist := Beta{Alpha: a, Beta: bb}
+		prev := -1.0
+		for i := 0; i <= 20; i++ {
+			x := float64(i) / 20
+			v := dist.CDF(x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewGaussianValidation(t *testing.T) {
+	if _, err := NewGaussian(0, 0); err == nil {
+		t.Error("NewGaussian(sigma=0): want error")
+	}
+	if _, err := NewGaussian(0, -1); err == nil {
+		t.Error("NewGaussian(sigma<0): want error")
+	}
+	if _, err := NewGaussian(0, math.NaN()); err == nil {
+		t.Error("NewGaussian(sigma=NaN): want error")
+	}
+	g, err := NewGaussian(1, 2)
+	if err != nil {
+		t.Fatalf("NewGaussian(1,2): %v", err)
+	}
+	if g.Mu != 1 || g.Sigma != 2 {
+		t.Errorf("NewGaussian = %+v", g)
+	}
+}
+
+func TestGaussianPDF(t *testing.T) {
+	g := Gaussian{Mu: 0, Sigma: 1}
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := g.PDF(0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("standard normal PDF(0) = %v, want %v", got, want)
+	}
+	if got := math.Exp(g.LogPDF(1.3)); !almostEqual(got, g.PDF(1.3), 1e-12) {
+		t.Errorf("exp(LogPDF) = %v, PDF = %v", got, g.PDF(1.3))
+	}
+}
+
+func TestGaussianCDF(t *testing.T) {
+	g := Gaussian{Mu: 2, Sigma: 3}
+	if got := g.CDF(2); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(mu) = %v, want 0.5", got)
+	}
+	// 1-sigma interval ≈ 0.8413.
+	if got := g.CDF(5); !almostEqual(got, 0.8413447, 1e-6) {
+		t.Errorf("CDF(mu+sigma) = %v, want ≈0.84134", got)
+	}
+	if g.CDF(-100) > 1e-10 {
+		t.Error("CDF far left tail not ≈ 0")
+	}
+	if g.CDF(100) < 1-1e-10 {
+		t.Error("CDF far right tail not ≈ 1")
+	}
+}
+
+func TestGaussianSampleMoments(t *testing.T) {
+	rng := NewRNG(42)
+	g := Gaussian{Mu: 4, Sigma: 0.7}
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Sample(rng)
+	}
+	if got := Mean(xs); !almostEqual(got, 4, 0.03) {
+		t.Errorf("sample mean = %v, want ≈4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 0.7, 0.03) {
+		t.Errorf("sample stddev = %v, want ≈0.7", got)
+	}
+}
+
+func TestMeanChangeGLRTNoChange(t *testing.T) {
+	rng := NewRNG(7)
+	g := Gaussian{Mu: 4, Sigma: 0.5}
+	w := 20
+	x1 := make([]float64, w)
+	x2 := make([]float64, w)
+	for i := 0; i < w; i++ {
+		x1[i] = g.Sample(rng)
+		x2[i] = g.Sample(rng)
+	}
+	stat := MeanChangeGLRT(x1, x2, 0.25)
+	// Under H0 the statistic is ~χ²(1)/2-ish scale; should be small.
+	if stat > 6 {
+		t.Errorf("GLRT under H0 = %v, want small", stat)
+	}
+}
+
+func TestMeanChangeGLRTWithChange(t *testing.T) {
+	rng := NewRNG(7)
+	g1 := Gaussian{Mu: 4, Sigma: 0.5}
+	g2 := Gaussian{Mu: 2.5, Sigma: 0.5}
+	w := 20
+	x1 := make([]float64, w)
+	x2 := make([]float64, w)
+	for i := 0; i < w; i++ {
+		x1[i] = g1.Sample(rng)
+		x2[i] = g2.Sample(rng)
+	}
+	stat := MeanChangeGLRT(x1, x2, 0.25)
+	// Expected ≈ W·Δ²/(2σ²) = 20·2.25/0.5 = 90.
+	if stat < 30 {
+		t.Errorf("GLRT under H1 = %v, want large", stat)
+	}
+}
+
+func TestMeanChangeGLRTEdgeCases(t *testing.T) {
+	if got := MeanChangeGLRT(nil, []float64{1}, 1); got != 0 {
+		t.Errorf("GLRT(empty half) = %v, want 0", got)
+	}
+	if got := MeanChangeGLRT([]float64{1}, []float64{2}, 0); got != 0 {
+		t.Errorf("GLRT(sigma2=0) = %v, want 0", got)
+	}
+}
+
+func TestMeanChangeGLRTAsymmetricReducesToSymmetric(t *testing.T) {
+	x1 := []float64{1, 1, 1, 1}
+	x2 := []float64{2, 2, 2, 2}
+	sym := MeanChangeGLRT(x1, x2, 1)
+	// W·Δ²/(2σ²) = 4·1/2 = 2.
+	if !almostEqual(sym, 2, 1e-12) {
+		t.Errorf("symmetric GLRT = %v, want 2", sym)
+	}
+}
+
+func TestPooledVariance(t *testing.T) {
+	x1 := []float64{1, 2, 3}
+	x2 := []float64{10, 11, 12}
+	// Each half has SS = 2; pooled = 4/(6-2) = 1.
+	if got := PooledVariance(x1, x2, 99); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("PooledVariance = %v, want 1", got)
+	}
+	if got := PooledVariance([]float64{5}, []float64{5}, 0.125); got != 0.125 {
+		t.Errorf("PooledVariance(degenerate) = %v, want fallback", got)
+	}
+	if got := PooledVariance([]float64{3, 3}, []float64{3, 3}, 0.5); got != 0.5 {
+		t.Errorf("PooledVariance(constant) = %v, want fallback", got)
+	}
+}

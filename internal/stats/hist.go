@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over the closed interval [Lo, Hi].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram constructs a histogram with nbins equal-width bins spanning
+// [lo, hi].
+func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("nbins %d: %w", nbins, ErrBadParameter)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("interval [%v,%v]: %w", lo, hi, ErrBadParameter)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}, nil
+}
+
+// Add records one observation. Out-of-range values are clamped to the edge
+// bins so no observation is silently dropped.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	idx := int(math.Floor((x - h.Lo) / (h.Hi - h.Lo) * float64(n)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns each bin's share of the total (nil total yields zeros).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := 0, -1
+	for i, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(best)+0.5)*width
+}

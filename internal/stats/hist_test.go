@@ -1,0 +1,53 @@
+package stats
+
+import "testing"
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 5, 0); err == nil {
+		t.Error("NewHistogram(nbins=0): want error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("NewHistogram(lo==hi): want error")
+	}
+	if _, err := NewHistogram(6, 5, 3); err == nil {
+		t.Error("NewHistogram(lo>hi): want error")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 5.5, 9.99, 10, -3, 42})
+	// Bins: [0,2) [2,4) [4,6) [6,8) [8,10]; clamped: -3→bin0, 10 and 42→bin4.
+	want := []int{3, 1, 1, 0, 3}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d (all %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	if got := h.Fractions(); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty Fractions = %v", got)
+	}
+	h.AddAll([]float64{0.1, 0.2, 0.9})
+	fr := h.Fractions()
+	if !almostEqual(fr[0], 2.0/3, 1e-12) || !almostEqual(fr[1], 1.0/3, 1e-12) {
+		t.Errorf("Fractions = %v", fr)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h, _ := NewHistogram(0, 5, 5)
+	h.AddAll([]float64{4.2, 4.5, 4.9, 1.1})
+	if got := h.Mode(); !almostEqual(got, 4.5, 1e-12) {
+		t.Errorf("Mode = %v, want 4.5", got)
+	}
+}

@@ -1,0 +1,39 @@
+package stats
+
+import "fmt"
+
+// Summary is a five-number-plus descriptive summary of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Q25    float64
+	Median float64
+	Q75    float64
+	Max    float64
+}
+
+// Summarize computes the summary of xs (zero value for an empty sample).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	lo, hi, _ := MinMax(xs)
+	return Summary{
+		Count:  len(xs),
+		Mean:   Mean(xs),
+		StdDev: SampleStdDev(xs),
+		Min:    lo,
+		Q25:    Quantile(xs, 0.25),
+		Median: Median(xs),
+		Q75:    Quantile(xs, 0.75),
+		Max:    hi,
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.2f q25=%.2f med=%.2f q75=%.2f max=%.2f",
+		s.Count, s.Mean, s.StdDev, s.Min, s.Q25, s.Median, s.Q75, s.Max)
+}

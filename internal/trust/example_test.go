@@ -1,0 +1,28 @@
+package trust_test
+
+import (
+	"fmt"
+
+	"repro/internal/trust"
+)
+
+func ExampleManager() {
+	mgr := trust.NewManager()
+
+	// Epoch 1: alice's 3 ratings were all clean; bob had 2 of 2 marked
+	// suspicious.
+	mgr.Observe("alice", 3, 0)
+	mgr.Observe("bob", 2, 2)
+
+	// Epoch 2: alice stays clean; bob behaves this time.
+	mgr.Observe("alice", 2, 0)
+	mgr.Observe("bob", 2, 0)
+
+	fmt.Printf("alice: %.2f\n", mgr.Trust("alice"))
+	fmt.Printf("bob:   %.2f\n", mgr.Trust("bob"))
+	fmt.Printf("carol: %.2f (no history)\n", mgr.Trust("carol"))
+	// Output:
+	// alice: 0.86
+	// bob:   0.50
+	// carol: 0.50 (no history)
+}

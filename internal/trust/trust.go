@@ -1,0 +1,108 @@
+// Package trust implements the beta-function trust model (Jøsang & Ismail)
+// and the paper's Procedure 1 trust manager: rater trust is accumulated from
+// counts of suspicious (F) and non-suspicious (S) ratings at periodic trust
+// epochs, with T = (S+1)/(S+F+2).
+package trust
+
+import "sort"
+
+// InitialTrust is the trust of a rater with no history: (0+1)/(0+0+2).
+const InitialTrust = 0.5
+
+// Beta returns the beta-function trust value (s+1)/(s+f+2).
+func Beta(s, f float64) float64 {
+	return (s + 1) / (s + f + 2)
+}
+
+// Record is one rater's accumulated evidence.
+type Record struct {
+	S float64 // ratings judged non-suspicious
+	F float64 // ratings judged suspicious
+}
+
+// Trust returns the record's beta trust value.
+func (r Record) Trust() float64 { return Beta(r.S, r.F) }
+
+// Manager accumulates suspiciousness evidence per rater across trust epochs
+// (Procedure 1). The zero value is not usable; call NewManager.
+type Manager struct {
+	records map[string]Record
+}
+
+// NewManager returns an empty trust manager.
+func NewManager() *Manager {
+	return &Manager{records: make(map[string]Record)}
+}
+
+// Observe records that rater id provided n ratings during the epoch, of
+// which f were marked suspicious (Procedure 1 lines 7–9: F += f,
+// S += n − f). Calls with n < f are clamped so S never decreases below its
+// prior value.
+func (m *Manager) Observe(id string, n, f int) {
+	if n < 0 {
+		n = 0
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > n {
+		f = n
+	}
+	rec := m.records[id]
+	rec.F += float64(f)
+	rec.S += float64(n - f)
+	m.records[id] = rec
+}
+
+// Trust returns the current trust in rater id (InitialTrust when unknown).
+func (m *Manager) Trust(id string) float64 {
+	rec, ok := m.records[id]
+	if !ok {
+		return InitialTrust
+	}
+	return rec.Trust()
+}
+
+// Record returns the raw evidence for rater id.
+func (m *Manager) Record(id string) Record {
+	return m.records[id]
+}
+
+// Len returns the number of raters with recorded evidence.
+func (m *Manager) Len() int { return len(m.records) }
+
+// Snapshot returns all (rater, trust) pairs sorted by rater ID, for
+// reporting.
+func (m *Manager) Snapshot() []RaterTrust {
+	out := make([]RaterTrust, 0, len(m.records))
+	for id, rec := range m.records {
+		out = append(out, RaterTrust{Rater: id, Trust: rec.Trust()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rater < out[j].Rater })
+	return out
+}
+
+// Reset forgets all evidence.
+func (m *Manager) Reset() {
+	m.records = make(map[string]Record)
+}
+
+// RaterTrust pairs a rater ID with its trust value.
+type RaterTrust struct {
+	Rater string
+	Trust float64
+}
+
+// AverageTrust returns the mean trust over the given rater IDs, using
+// InitialTrust for unknown raters. It returns InitialTrust for an empty set
+// (neutral, per the paper's segment-trust comparison).
+func (m *Manager) AverageTrust(ids []string) float64 {
+	if len(ids) == 0 {
+		return InitialTrust
+	}
+	var sum float64
+	for _, id := range ids {
+		sum += m.Trust(id)
+	}
+	return sum / float64(len(ids))
+}

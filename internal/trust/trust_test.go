@@ -1,0 +1,138 @@
+package trust
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBeta(t *testing.T) {
+	tests := []struct {
+		s, f, want float64
+	}{
+		{0, 0, 0.5},
+		{8, 0, 0.9},
+		{0, 8, 0.1},
+		{3, 3, 0.5},
+	}
+	for _, tt := range tests {
+		if got := Beta(tt.s, tt.f); got != tt.want {
+			t.Errorf("Beta(%v,%v) = %v, want %v", tt.s, tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestManagerInitialTrust(t *testing.T) {
+	m := NewManager()
+	if got := m.Trust("unknown"); got != InitialTrust {
+		t.Errorf("Trust(unknown) = %v, want %v", got, InitialTrust)
+	}
+}
+
+func TestManagerObserve(t *testing.T) {
+	m := NewManager()
+	m.Observe("alice", 10, 0)
+	if got := m.Trust("alice"); got != Beta(10, 0) {
+		t.Errorf("clean rater trust = %v, want %v", got, Beta(10, 0))
+	}
+	m.Observe("bob", 10, 10)
+	if got := m.Trust("bob"); got != Beta(0, 10) {
+		t.Errorf("dirty rater trust = %v, want %v", got, Beta(0, 10))
+	}
+	// Accumulation across epochs.
+	m.Observe("alice", 5, 2)
+	want := Beta(13, 2)
+	if got := m.Trust("alice"); got != want {
+		t.Errorf("accumulated trust = %v, want %v", got, want)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestManagerObserveClamping(t *testing.T) {
+	m := NewManager()
+	m.Observe("x", 3, 7) // f > n: clamp f to n
+	rec := m.Record("x")
+	if rec.S != 0 || rec.F != 3 {
+		t.Errorf("record = %+v, want S=0 F=3", rec)
+	}
+	m.Observe("y", -1, -2) // nonsense input ignored
+	rec = m.Record("y")
+	if rec.S != 0 || rec.F != 0 {
+		t.Errorf("record = %+v, want zero", rec)
+	}
+}
+
+func TestManagerSnapshotSorted(t *testing.T) {
+	m := NewManager()
+	m.Observe("zeta", 1, 0)
+	m.Observe("alpha", 1, 1)
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Rater != "alpha" || snap[1].Rater != "zeta" {
+		t.Errorf("Snapshot = %v", snap)
+	}
+}
+
+func TestManagerReset(t *testing.T) {
+	m := NewManager()
+	m.Observe("a", 5, 5)
+	m.Reset()
+	if m.Len() != 0 || m.Trust("a") != InitialTrust {
+		t.Error("Reset did not clear records")
+	}
+}
+
+func TestAverageTrust(t *testing.T) {
+	m := NewManager()
+	m.Observe("good", 8, 0) // 0.9
+	m.Observe("bad", 8, 8)  // 0.1
+	if got := m.AverageTrust([]string{"good", "bad"}); got != 0.5 {
+		t.Errorf("AverageTrust = %v, want 0.5", got)
+	}
+	if got := m.AverageTrust(nil); got != InitialTrust {
+		t.Errorf("AverageTrust(empty) = %v, want %v", got, InitialTrust)
+	}
+	// Unknown raters count as InitialTrust.
+	if got := m.AverageTrust([]string{"good", "stranger"}); got != 0.7 {
+		t.Errorf("AverageTrust(with unknown) = %v, want 0.7", got)
+	}
+}
+
+// Property: trust is always in (0,1), increases with S, decreases with F.
+func TestBetaBoundsAndMonotonicityProperty(t *testing.T) {
+	f := func(sRaw, fRaw uint16) bool {
+		s, fl := float64(sRaw), float64(fRaw)
+		v := Beta(s, fl)
+		if v <= 0 || v >= 1 {
+			return false
+		}
+		return Beta(s+1, fl) > v && Beta(s, fl+1) < v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Observe order does not matter (evidence is additive).
+func TestObserveCommutativityProperty(t *testing.T) {
+	f := func(obs []uint8) bool {
+		// Interpret pairs of bytes as (n, f) observations.
+		type pair struct{ n, f int }
+		var pairs []pair
+		for i := 0; i+1 < len(obs); i += 2 {
+			pairs = append(pairs, pair{int(obs[i]), int(obs[i+1])})
+		}
+		m1 := NewManager()
+		for _, p := range pairs {
+			m1.Observe("r", p.n, p.f)
+		}
+		m2 := NewManager()
+		for i := len(pairs) - 1; i >= 0; i-- {
+			m2.Observe("r", pairs[i].n, pairs[i].f)
+		}
+		return m1.Trust("r") == m2.Trust("r")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
