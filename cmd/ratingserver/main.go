@@ -9,6 +9,12 @@
 //	curl -X POST localhost:8080/ratings -d '{"product":"tv1","rater":"alice","value":4.5,"day":3}'
 //	curl localhost:8080/products/tv1/report
 //
+// With -wal-dir the server is durable: every accepted rating is written to
+// a checksummed write-ahead log before it is acknowledged, the dataset is
+// checkpointed every -snapshot-every ratings, and a restart replays
+// snapshot + log so rating history and rater trust survive crashes.
+// -sync-every trades durability for throughput via fsync group commit.
+//
 // With -seed-history the server starts pre-loaded with synthetic fair
 // rating history, which makes the defense meaningful from the first query.
 package main
@@ -40,18 +46,39 @@ func main() {
 		horizon  = flag.Float64("horizon", 150, "rating horizon in days")
 		seedHist = flag.Bool("seed-history", false, "preload synthetic fair rating history")
 		seed     = flag.Uint64("seed", 1, "seed for -seed-history")
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory (empty = in-memory, non-durable)")
+		syncEv   = flag.Int("sync-every", 1, "fsync the WAL every N accepted ratings (group commit)")
+		snapEv   = flag.Int("snapshot-every", 4096, "checkpoint the dataset and compact the WAL every N ratings (0 = never)")
 	)
 	flag.Parse()
-	if err := run(*addr, *scheme, *products, *horizon, *seedHist, *seed); err != nil {
+	if err := run(config{
+		addr: *addr, scheme: *scheme, products: *products, horizon: *horizon,
+		seedHist: *seedHist, seed: *seed,
+		walDir: *walDir, syncEvery: *syncEv, snapshotEvery: *snapEv,
+	}); err != nil {
 		log.Fatal("ratingserver: ", err)
 	}
 }
 
+type config struct {
+	addr     string
+	scheme   string
+	products string
+	horizon  float64
+	seedHist bool
+	seed     uint64
+
+	walDir        string
+	syncEvery     int
+	snapshotEvery int
+}
+
 // buildService assembles the rating service from the CLI parameters; split
-// from run so tests can exercise it without binding a socket.
-func buildService(schemeName, productList string, horizon float64, seedHist bool, seed uint64) (*server.Service, agg.Scheme, error) {
+// from run so tests can exercise it without binding a socket. The caller
+// owns the returned service and must Close it (flushing the WAL).
+func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 	var scheme agg.Scheme
-	switch schemeName {
+	switch cfg.scheme {
 	case "SA":
 		scheme = agg.SAScheme{}
 	case "BF":
@@ -59,22 +86,53 @@ func buildService(schemeName, productList string, horizon float64, seedHist bool
 	case "P":
 		scheme = agg.NewPScheme()
 	default:
-		return nil, nil, fmt.Errorf("unknown scheme %q", schemeName)
+		return nil, nil, fmt.Errorf("unknown scheme %q", cfg.scheme)
 	}
-	ids := strings.Split(productList, ",")
+	ids := strings.Split(cfg.products, ",")
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
-	svc, err := server.New(scheme, horizon, ids)
-	if err != nil {
-		return nil, nil, err
-	}
-	if seedHist {
-		cfg := dataset.DefaultFairConfig()
-		cfg.Products = len(ids)
-		cfg.HorizonDays = horizon
-		d, err := dataset.GenerateFair(stats.NewRNG(seed), cfg)
+
+	var (
+		svc       *server.Service
+		recovered int
+		err       error
+	)
+	if cfg.walDir != "" {
+		var rep *server.RecoveryReport
+		svc, rep, err = server.OpenWAL(scheme, cfg.horizon, ids, server.WALOptions{
+			Dir:           cfg.walDir,
+			SyncEvery:     cfg.syncEvery,
+			SnapshotEvery: cfg.snapshotEvery,
+		})
 		if err != nil {
+			return nil, nil, err
+		}
+		recovered = rep.SnapshotRatings + rep.ReplayedRatings
+		log.Printf("recovered %d ratings from %s (%d from snapshot, %d replayed, %d duplicate, %d skipped, %d torn bytes truncated)",
+			recovered, cfg.walDir, rep.SnapshotRatings, rep.ReplayedRatings,
+			rep.DuplicateRecords, rep.SkippedRecords, rep.TruncatedBytes)
+		for _, reason := range rep.SkipReasons {
+			log.Printf("recovery skipped: %s", reason)
+		}
+	} else {
+		svc, err = server.New(scheme, cfg.horizon, ids)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	svc.SetLogger(log.Default())
+
+	// Seeding replaces all ratings, so never clobber recovered history.
+	if cfg.seedHist && recovered > 0 {
+		log.Printf("WAL holds %d ratings; ignoring -seed-history", recovered)
+	} else if cfg.seedHist {
+		gcfg := dataset.DefaultFairConfig()
+		gcfg.Products = len(ids)
+		gcfg.HorizonDays = cfg.horizon
+		d, err := dataset.GenerateFair(stats.NewRNG(cfg.seed), gcfg)
+		if err != nil {
+			svc.Close()
 			return nil, nil, err
 		}
 		// GenerateFair names products tv1…tvN; remap onto the requested IDs.
@@ -82,6 +140,7 @@ func buildService(schemeName, productList string, horizon float64, seedHist bool
 			d.Products[i].ID = ids[i]
 		}
 		if err := svc.Load(d); err != nil {
+			svc.Close()
 			return nil, nil, err
 		}
 		log.Printf("seeded synthetic history for %d products", len(ids))
@@ -89,17 +148,20 @@ func buildService(schemeName, productList string, horizon float64, seedHist bool
 	return svc, scheme, nil
 }
 
-func run(addr, schemeName, productList string, horizon float64, seedHist bool, seed uint64) error {
-	svc, scheme, err := buildService(schemeName, productList, horizon, seedHist, seed)
+func run(cfg config) error {
+	svc, scheme, err := buildService(cfg)
 	if err != nil {
 		return err
 	}
 	ids := svc.Products()
 
 	httpServer := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	// Graceful shutdown on SIGINT/SIGTERM.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -112,10 +174,25 @@ func run(addr, schemeName, productList string, horizon float64, seedHist bool, s
 		done <- httpServer.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving %s-scheme rating aggregation on %s (%d products, %.0f-day horizon)",
-		scheme.Name(), addr, len(ids), horizon)
+	durability := "in-memory, no WAL"
+	if cfg.walDir != "" {
+		durability = fmt.Sprintf("WAL %s, sync-every %d, snapshot-every %d", cfg.walDir, cfg.syncEvery, cfg.snapshotEvery)
+	}
+	log.Printf("serving %s-scheme rating aggregation on %s (%d products, %.0f-day horizon, %s)",
+		scheme.Name(), cfg.addr, len(ids), cfg.horizon, durability)
 	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		svc.Close()
 		return err
 	}
-	return <-done
+	shutdownErr := <-done
+	// Flush and close the WAL only after in-flight requests drained, so an
+	// orderly stop never loses acknowledged ratings.
+	if err := svc.Close(); err != nil {
+		log.Printf("wal close: %v", err)
+		if shutdownErr == nil {
+			shutdownErr = err
+		}
+	}
+	log.Printf("shutdown complete")
+	return shutdownErr
 }

@@ -1,15 +1,21 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 )
 
+func memConfig(scheme, products string, horizon float64, seedHist bool, seed uint64) config {
+	return config{scheme: scheme, products: products, horizon: horizon, seedHist: seedHist, seed: seed}
+}
+
 func TestBuildServiceSchemes(t *testing.T) {
 	for _, name := range []string{"SA", "BF", "P"} {
-		svc, scheme, err := buildService(name, "a,b", 60, false, 1)
+		svc, scheme, err := buildService(memConfig(name, "a,b", 60, false, 1))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
+		defer svc.Close()
 		if scheme.Name() != name {
 			t.Errorf("scheme = %s, want %s", scheme.Name(), name)
 		}
@@ -21,10 +27,11 @@ func TestBuildServiceSchemes(t *testing.T) {
 }
 
 func TestBuildServiceTrimsProductIDs(t *testing.T) {
-	svc, _, err := buildService("SA", " tv1 , tv2 ", 60, false, 1)
+	svc, _, err := buildService(memConfig("SA", " tv1 , tv2 ", 60, false, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer svc.Close()
 	ids := svc.Products()
 	if ids[0] != "tv1" || ids[1] != "tv2" {
 		t.Errorf("products not trimmed: %v", ids)
@@ -32,10 +39,11 @@ func TestBuildServiceTrimsProductIDs(t *testing.T) {
 }
 
 func TestBuildServiceSeedHistory(t *testing.T) {
-	svc, _, err := buildService("SA", "x,y", 90, true, 7)
+	svc, _, err := buildService(memConfig("SA", "x,y", 90, true, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer svc.Close()
 	for _, id := range []string{"x", "y"} {
 		n, err := svc.RatingCount(id)
 		if err != nil || n == 0 {
@@ -45,13 +53,52 @@ func TestBuildServiceSeedHistory(t *testing.T) {
 }
 
 func TestBuildServiceErrors(t *testing.T) {
-	if _, _, err := buildService("XX", "a", 60, false, 1); err == nil {
+	if _, _, err := buildService(memConfig("XX", "a", 60, false, 1)); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if _, _, err := buildService("SA", "a", -1, false, 1); err == nil {
+	if _, _, err := buildService(memConfig("SA", "a", -1, false, 1)); err == nil {
 		t.Error("bad horizon accepted")
 	}
-	if _, _, err := buildService("SA", "a,a", 60, false, 1); err == nil {
+	if _, _, err := buildService(memConfig("SA", "a,a", 60, false, 1)); err == nil {
 		t.Error("duplicate products accepted")
+	}
+}
+
+// TestBuildServiceWALRoundtrip exercises the durable configuration end to
+// end: ratings accepted by one instance survive into a second instance
+// built over the same -wal-dir, and recovered history suppresses
+// -seed-history instead of being overwritten by it.
+func TestBuildServiceWALRoundtrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	cfg := memConfig("SA", "a,b", 60, false, 1)
+	cfg.walDir = dir
+	cfg.syncEvery = 1
+	cfg.snapshotEvery = 4
+
+	svc, _, err := buildService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rater := range []string{"r1", "r2", "r3", "r4", "r5", "r6"} {
+		if err := svc.Submit("a", rater, 4, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.seedHist = true // must be ignored: the WAL already holds history
+	svc2, _, err := buildService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	n, err := svc2.RatingCount("a")
+	if err != nil || n != 6 {
+		t.Fatalf("recovered RatingCount = %d, %v; want 6", n, err)
+	}
+	if err := svc2.Submit("a", "r1", 4, 7); err == nil {
+		t.Error("duplicate rater accepted after recovery — seen map not rebuilt")
 	}
 }

@@ -1,0 +1,245 @@
+// Package faultfs is a fault-injection harness for the write-ahead log: an
+// in-memory filesystem implementing wal.FS whose failures are injectable —
+// fsync errors after N successful syncs, short writes once a byte budget
+// is exhausted (simulating a process killed mid-write), and byte-exact
+// crash images for kill-anywhere recovery testing.
+//
+// It exists for tests only; production code uses wal.OSDir.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrInjected is the base error for all injected faults; test assertions
+// can errors.Is against it.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS is an in-memory filesystem with injectable faults. The zero value is
+// not usable; construct with New. All methods are safe for concurrent use.
+type FS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+
+	syncErr       error // returned by Sync once armed
+	syncsUntilErr int   // successful syncs remaining before syncErr arms; -1 = never
+	syncs         int   // total successful syncs observed
+
+	writeBudget int64 // bytes writable before writes start failing; -1 = unlimited
+}
+
+var _ wal.FS = (*FS)(nil)
+
+// New returns an empty in-memory FS with no faults armed.
+func New() *FS {
+	return &FS{files: make(map[string][]byte), syncsUntilErr: -1, writeBudget: -1}
+}
+
+// FailSyncsAfter arms an fsync fault: the next n Sync calls succeed, every
+// one after that returns an error wrapping ErrInjected. Pass n=0 to fail
+// immediately.
+func (f *FS) FailSyncsAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncsUntilErr = n
+	f.syncErr = fmt.Errorf("%w: fsync refused", ErrInjected)
+}
+
+// ClearFaults disarms all injected faults.
+func (f *FS) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncsUntilErr = -1
+	f.syncErr = nil
+	f.writeBudget = -1
+}
+
+// SyncCount reports how many Sync calls have succeeded, across all files —
+// the observable for asserting group-commit amortization.
+func (f *FS) SyncCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// LimitWrites arms a crash-at-byte fault: after n more bytes have been
+// written (across all files), writes fail. A write that straddles the
+// budget applies only its first bytes and returns a short-write error —
+// exactly what a process killed mid-write leaves on disk.
+func (f *FS) LimitWrites(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// ReadFile returns a copy of the file's current contents.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: %s: %w", name, os.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// WriteFile replaces the file's contents, bypassing fault injection — for
+// constructing disk images (e.g. a crash-truncated log) in tests.
+func (f *FS) WriteFile(name string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[name] = append([]byte(nil), data...)
+}
+
+// Clone returns an independent copy of the filesystem contents with no
+// faults armed — a crash image: everything written so far survives,
+// everything after is gone.
+func (f *FS) Clone() *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := New()
+	for name, data := range f.files {
+		c.files[name] = append([]byte(nil), data...)
+	}
+	return c
+}
+
+// file is an open handle. Reads serve a point-in-time snapshot taken at
+// open (matching a read-only *os.File well enough for the WAL's
+// read-all-then-close usage); writes go straight to the shared store so a
+// crash image sees them.
+type file struct {
+	fs     *FS
+	name   string
+	rdata  []byte // snapshot for reads
+	roff   int
+	write  bool
+	closed bool
+}
+
+func (f *FS) Create(name string) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[name] = nil
+	return &file{fs: f, name: name, write: true}, nil
+}
+
+func (f *FS) Open(name string) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: %s: %w", name, os.ErrNotExist)
+	}
+	return &file{fs: f, name: name, rdata: append([]byte(nil), data...)}, nil
+}
+
+func (f *FS) OpenAppend(name string) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[name]; !ok {
+		f.files[name] = nil
+	}
+	return &file{fs: f, name: name, write: true}, nil
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.files[oldname]
+	if !ok {
+		return fmt.Errorf("faultfs: %s: %w", oldname, os.ErrNotExist)
+	}
+	f.files[newname] = data
+	delete(f.files, oldname)
+	return nil
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.files, name)
+	return nil
+}
+
+func (f *FS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.files[name]
+	if !ok {
+		return fmt.Errorf("faultfs: %s: %w", name, os.ErrNotExist)
+	}
+	if int64(len(data)) < size {
+		return fmt.Errorf("faultfs: truncate %s beyond length", name)
+	}
+	f.files[name] = data[:size]
+	return nil
+}
+
+func (f *FS) Size(name string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.files[name]
+	if !ok {
+		return 0, fmt.Errorf("faultfs: %s: %w", name, os.ErrNotExist)
+	}
+	return int64(len(data)), nil
+}
+
+func (h *file) Read(p []byte) (int, error) {
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.roff >= len(h.rdata) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.rdata[h.roff:])
+	h.roff += n
+	return n, nil
+}
+
+func (h *file) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || !h.write {
+		return 0, os.ErrClosed
+	}
+	n := len(p)
+	var failure error
+	if h.fs.writeBudget >= 0 {
+		if int64(n) > h.fs.writeBudget {
+			n = int(h.fs.writeBudget)
+			failure = fmt.Errorf("%w: short write after %d bytes", ErrInjected, n)
+		}
+		h.fs.writeBudget -= int64(n)
+	}
+	h.fs.files[h.name] = append(h.fs.files[h.name], p[:n]...)
+	return n, failure
+}
+
+func (h *file) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.syncErr != nil {
+		if h.fs.syncsUntilErr <= 0 {
+			return h.fs.syncErr
+		}
+		h.fs.syncsUntilErr--
+	}
+	h.fs.syncs++
+	return nil
+}
+
+func (h *file) Close() error {
+	h.closed = true
+	return nil
+}

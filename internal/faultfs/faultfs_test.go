@@ -1,0 +1,162 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func TestCreateWriteReadRoundtrip(t *testing.T) {
+	fs := New()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := fs.ReadFile("a")
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	r, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(r)
+	if err != nil || string(all) != "hello world" {
+		t.Fatalf("io.ReadAll = %q, %v", all, err)
+	}
+}
+
+func TestOpenMissingIsNotExist(t *testing.T) {
+	fs := New()
+	if _, err := fs.Open("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Open(missing) = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.Size("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Size(missing) = %v, want ErrNotExist", err)
+	}
+	// Removing a missing file matches wal.FS semantics: not an error.
+	if err := fs.Remove("nope"); err != nil {
+		t.Errorf("Remove(missing) = %v", err)
+	}
+}
+
+func TestOpenAppendExtends(t *testing.T) {
+	fs := New()
+	fs.WriteFile("log", []byte("abc"))
+	f, err := fs.OpenAppend("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("def"))
+	f.Close()
+	got, _ := fs.ReadFile("log")
+	if string(got) != "abcdef" {
+		t.Errorf("append result = %q", got)
+	}
+}
+
+func TestRenameAndTruncate(t *testing.T) {
+	fs := New()
+	fs.WriteFile("tmp", []byte("snapshot"))
+	if err := fs.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("tmp"); err == nil {
+		t.Error("old name still present after rename")
+	}
+	got, _ := fs.ReadFile("final")
+	if string(got) != "snapshot" {
+		t.Errorf("renamed contents = %q", got)
+	}
+	if err := fs.Truncate("final", 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("final")
+	if string(got) != "snap" {
+		t.Errorf("truncated contents = %q", got)
+	}
+	if err := fs.Truncate("final", 100); err == nil {
+		t.Error("truncate beyond length accepted")
+	}
+}
+
+func TestWriteBudgetShortWrite(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("log")
+	fs.LimitWrites(5)
+	n, err := f.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	n, err = f.Write([]byte("defgh"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("straddling budget: n=%d err=%v, want 2 bytes + injected error", n, err)
+	}
+	n, err = f.Write([]byte("x"))
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("after budget: n=%d err=%v", n, err)
+	}
+	got, _ := fs.ReadFile("log")
+	if string(got) != "abcde" {
+		t.Errorf("surviving bytes = %q, want the first 5", got)
+	}
+}
+
+func TestFailSyncsAfter(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("log")
+	fs.FailSyncsAfter(2)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third sync = %v, want injected error", err)
+	}
+	if got := fs.SyncCount(); got != 2 {
+		t.Errorf("SyncCount = %d, want 2", got)
+	}
+	fs.ClearFaults()
+	if err := f.Sync(); err != nil {
+		t.Errorf("sync after ClearFaults = %v", err)
+	}
+}
+
+func TestCloneIsIndependentCrashImage(t *testing.T) {
+	fs := New()
+	fs.WriteFile("log", []byte("before"))
+	fs.FailSyncsAfter(0)
+	img := fs.Clone()
+
+	// The image must not share faults or future writes with the original.
+	f, _ := img.Create("other")
+	if err := f.Sync(); err != nil {
+		t.Errorf("clone inherited sync fault: %v", err)
+	}
+	fs.WriteFile("log", []byte("after"))
+	got, _ := img.ReadFile("log")
+	if string(got) != "before" {
+		t.Errorf("clone sees writes after the crash point: %q", got)
+	}
+}
+
+func TestReadSnapshotAtOpen(t *testing.T) {
+	fs := New()
+	fs.WriteFile("log", []byte("v1"))
+	r, _ := fs.Open("log")
+	fs.WriteFile("log", []byte("v2-longer"))
+	all, err := io.ReadAll(r)
+	if err != nil || string(all) != "v1" {
+		t.Errorf("open handle = %q, %v; want point-in-time snapshot \"v1\"", all, err)
+	}
+}

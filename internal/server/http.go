@@ -5,7 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
+
+// maxSubmitBody bounds POST /ratings bodies. A rating submission is a
+// four-field JSON object; anything larger is abuse, not data.
+const maxSubmitBody = 1 << 16
 
 // Handler exposes the service over HTTP:
 //
@@ -14,9 +19,13 @@ import (
 //	GET  /products/{id}/scores     per-period aggregates
 //	GET  /products/{id}/report     defense report (ratings, marks, scores)
 //	GET  /raters/{id}/trust        current beta trust
+//	GET  /healthz                  liveness (always 200 while serving)
+//	GET  /readyz                   readiness (503 on WAL failure or stale aggregates)
 //
 // All responses are JSON. Errors map to 400 (bad input), 404 (unknown
-// product) and 409 (duplicate rating).
+// product), 409 (duplicate rating), 413 (oversized body) and 503 (storage
+// unavailable). Every handler runs behind a middleware that recovers
+// panics into a 500 and logs one line per request to the service logger.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ratings", s.handleSubmit)
@@ -24,7 +33,53 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /products/{id}/scores", s.handleScores)
 	mux.HandleFunc("GET /products/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /raters/{id}/trust", s.handleTrust)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.middleware(mux)
+}
+
+// statusWriter captures the response status and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// middleware wraps a handler with panic recovery and request logging. A
+// panicking handler yields a JSON 500 (when the response has not started)
+// instead of tearing down the connection without a trace.
+func (s *Service) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.logf("http: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				if sw.status == 0 {
+					s.writeError(sw, http.StatusInternalServerError, errors.New("internal error"))
+				}
+			}
+			s.logf("http: %s %s → %d (%dB, %v)",
+				r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start).Round(time.Microsecond))
+		}()
+		next.ServeHTTP(sw, r)
+	})
 }
 
 // SubmitRequest is the POST /ratings payload.
@@ -40,44 +95,65 @@ type errorResponse struct {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if err := s.Submit(req.Product, req.Rater, req.Value, req.Day); err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string]string{"status": "accepted"})
+	s.writeJSON(w, http.StatusCreated, map[string]string{"status": "accepted"})
 }
 
 func (s *Service) handleProducts(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.Products())
+	s.writeJSON(w, http.StatusOK, s.Products())
 }
 
 func (s *Service) handleScores(w http.ResponseWriter, r *http.Request) {
 	scores, err := s.Scores(r.PathValue("id"))
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, sanitizeNaN(scores))
+	s.writeJSON(w, http.StatusOK, sanitizeNaN(scores))
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep, err := s.Inspect(r.PathValue("id"))
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	rep.Scores = sanitizeNaN(rep.Scores)
-	writeJSON(w, rep)
+	s.writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Service) handleTrust(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]float64{"trust": s.Trust(r.PathValue("id"))})
+	s.writeJSON(w, http.StatusOK, map[string]float64{"trust": s.Trust(r.PathValue("id"))})
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 while the WAL is failed or the
+// last aggregate recompute did not succeed, so load balancers drain a
+// degraded instance instead of feeding it writes it cannot make durable.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Ready(); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // sanitizeNaN replaces NaN (periods without ratings) with -1, which JSON
@@ -100,20 +176,25 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrDuplicateRating):
 		return http.StatusConflict
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	// Encoding errors after headers are sent can only be logged by the
-	// caller's middleware; the payloads here are always encodable.
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeJSON sets Content-Type before committing headers (a header set
+// after WriteHeader is silently dropped) and logs encoding failures —
+// they indicate a programming error or a dead client, neither of which
+// should vanish silently.
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("http: encode response: %v", err)
+	}
+}
+
+func (s *Service) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }

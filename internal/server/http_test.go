@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/agg"
+	"repro/internal/faultfs"
 )
 
 func newTestServer(t *testing.T, scheme agg.Scheme) *httptest.Server {
@@ -167,5 +170,112 @@ func TestHTTPReportUnderAttack(t *testing.T) {
 	defer r2.Body.Close()
 	if r2.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown report status = %d", r2.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndReady(t *testing.T) {
+	ts := newTestServer(t, agg.SAScheme{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, r.StatusCode)
+		}
+	}
+}
+
+// TestHTTPReadyz503OnWALFailure: once the log is poisoned, readiness must
+// flip to 503 (so a balancer drains the instance) while liveness stays 200.
+func TestHTTPReadyz503OnWALFailure(t *testing.T) {
+	fs := faultfs.New()
+	svc, _, err := OpenWAL(agg.SAScheme{}, 90, []string{"tv1"}, WALOptions{FS: fs, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	fs.FailSyncsAfter(0)
+	resp := postRating(t, ts, SubmitRequest{Product: "tv1", Rater: "a", Value: 4, Day: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit with failed WAL status = %d, want 503", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz status = %d, want 503", r.StatusCode)
+	}
+	r2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d, want 200 (process is still alive)", r2.StatusCode)
+	}
+}
+
+// TestHTTPSubmitBodyLimit: a body past MaxBytesReader's cap must yield
+// 413, not an unbounded read.
+func TestHTTPSubmitBodyLimit(t *testing.T) {
+	ts := newTestServer(t, agg.SAScheme{})
+	huge := append([]byte(`{"product":"`), bytes.Repeat([]byte("x"), maxSubmitBody+1024)...)
+	huge = append(huge, []byte(`","rater":"a","value":4,"day":1}`)...)
+	resp, err := http.Post(ts.URL+"/ratings", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestHTTPSubmitContentType is the writeJSON regression test: the 201
+// path used to set Content-Type after WriteHeader, which drops it.
+func TestHTTPSubmitContentType(t *testing.T) {
+	ts := newTestServer(t, agg.SAScheme{})
+	resp := postRating(t, ts, SubmitRequest{Product: "tv1", Rater: "ct", Value: 4, Day: 1})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", got)
+	}
+}
+
+// TestMiddlewarePanicRecovery drives the middleware with a handler that
+// panics: the client gets a JSON 500 and the server goroutine survives.
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	svc, err := New(agg.SAScheme{}, 90, []string{"tv1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged bytes.Buffer
+	svc.SetLogger(log.New(&logged, "", 0))
+	h := svc.middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	}))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/boom", nil))
+	if rw.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rw.Code)
+	}
+	var body errorResponse
+	if err := json.NewDecoder(rw.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Errorf("error body = %+v, %v", body, err)
+	}
+	if !strings.Contains(logged.String(), "handler exploded") {
+		t.Errorf("panic not logged: %q", logged.String())
+	}
+	if !strings.Contains(logged.String(), "GET /boom") {
+		t.Errorf("request line not logged: %q", logged.String())
 	}
 }

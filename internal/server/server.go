@@ -3,15 +3,27 @@
 // lazily under a pluggable defense scheme, and the P-scheme's suspicious
 // marks and rater trust are inspectable — the deployment shape a production
 // rating system (the paper's motivating setting) would use.
+//
+// The service is optionally durable: constructed with Open it writes every
+// accepted rating to a write-ahead log (internal/wal) before mutating
+// in-memory state, periodically checkpoints the full dataset, and on boot
+// replays snapshot + log so rating history — and with it the P-scheme's
+// beta trust in every rater — survives crashes. An attacker cannot reset
+// their trust by crashing the service.
 package server
 
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log"
+	"math"
 	"sync"
+	"time"
 
 	"repro/internal/agg"
 	"repro/internal/dataset"
+	"repro/internal/wal"
 )
 
 // Errors returned by the rating service.
@@ -19,15 +31,19 @@ var (
 	// ErrUnknownProduct indicates a rating or query for an unregistered
 	// product.
 	ErrUnknownProduct = errors.New("server: unknown product")
-	// ErrBadRating indicates an out-of-range value or day.
+	// ErrBadRating indicates an out-of-range or non-finite value or day.
 	ErrBadRating = errors.New("server: bad rating")
 	// ErrDuplicateRating indicates a rater rating the same product twice
 	// (the one-rating-per-rater-per-object rule of Eq. 7).
 	ErrDuplicateRating = errors.New("server: duplicate rating")
+	// ErrUnavailable indicates the durable log rejected the write; the
+	// rating was NOT accepted and the client should retry after the
+	// operator restores storage (HTTP 503).
+	ErrUnavailable = errors.New("server: storage unavailable")
 )
 
 // Service is a thread-safe online rating system. The zero value is not
-// usable; construct with New.
+// usable; construct with New (in-memory) or Open (durable).
 type Service struct {
 	mu      sync.RWMutex
 	data    *dataset.Dataset
@@ -36,15 +52,29 @@ type Service struct {
 	dirty   bool
 	cached  agg.Table
 	pResult *agg.Result // set when scheme is the P-scheme
+
+	// Durability (nil/zero for a purely in-memory service).
+	wal           *wal.WAL
+	snapshotEvery int
+	sinceSnapshot int
+
+	// Degradation: when a recompute panics, cached holds the last good
+	// table, stale is set, and staleErr records the cause until a later
+	// recompute succeeds.
+	stale    bool
+	staleErr error
+
+	logger *log.Logger
+	now    func() time.Time
 }
 
-// New creates a service for the given products, aggregating with scheme
-// over a horizon of horizonDays.
+// New creates an in-memory (non-durable) service for the given products,
+// aggregating with scheme over a horizon of horizonDays.
 func New(scheme agg.Scheme, horizonDays float64, products []string) (*Service, error) {
 	if scheme == nil {
 		return nil, errors.New("server: nil scheme")
 	}
-	if horizonDays <= 0 {
+	if horizonDays <= 0 || math.IsInf(horizonDays, 0) || math.IsNaN(horizonDays) {
 		return nil, fmt.Errorf("server: horizon %v", horizonDays)
 	}
 	if len(products) == 0 {
@@ -59,11 +89,160 @@ func New(scheme agg.Scheme, horizonDays float64, products []string) (*Service, e
 		d.Products = append(d.Products, dataset.Product{ID: id})
 		seen[id] = make(map[string]bool)
 	}
-	return &Service{data: d, scheme: scheme, seen: seen, dirty: true}, nil
+	return &Service{
+		data:   d,
+		scheme: scheme,
+		seen:   seen,
+		dirty:  true,
+		logger: log.New(io.Discard, "", 0),
+		now:    time.Now,
+	}, nil
+}
+
+// WALOptions configures the durable variant of the service.
+type WALOptions struct {
+	// Dir is the WAL directory (ignored when FS is set).
+	Dir string
+	// FS overrides the filesystem the WAL writes through — used by tests
+	// to inject faults (internal/faultfs). Defaults to wal.OSDir(Dir).
+	FS wal.FS
+	// SyncEvery and SyncInterval set the group-commit policy; see
+	// wal.Options. Zero SyncEvery means fsync on every append.
+	SyncEvery    int
+	SyncInterval time.Duration
+	// SnapshotEvery checkpoints the dataset and resets the log after this
+	// many accepted ratings, bounding recovery time. 0 disables automatic
+	// snapshots (the log grows until Close).
+	SnapshotEvery int
+}
+
+// RecoveryReport describes what a durable boot found on disk.
+type RecoveryReport struct {
+	// SnapshotRatings and ReplayedRatings count ratings restored from the
+	// checkpoint and from the log tail, respectively.
+	SnapshotRatings int
+	ReplayedRatings int
+	// DuplicateRecords counts log records that exactly matched a rating
+	// already restored — the benign artifact of a crash between snapshot
+	// publication and log reset, deduplicated silently.
+	DuplicateRecords int
+	// SkippedRecords counts records that failed validation (unknown
+	// product, out-of-range value or day, conflicting duplicate) and were
+	// dropped; SkipReasons holds the first few, for logs.
+	SkippedRecords int
+	SkipReasons    []string
+	// TruncatedBytes counts torn log-tail bytes discarded by the WAL.
+	TruncatedBytes int64
+}
+
+// maxSkipReasons bounds the per-boot skip-reason sample in RecoveryReport.
+const maxSkipReasons = 16
+
+// Open creates a durable service backed by a write-ahead log in walDir
+// with strict durability defaults (fsync every append, snapshot every
+// 4096 ratings). It replays any existing snapshot + log before returning,
+// so the service resumes exactly where a crashed predecessor stopped.
+func Open(scheme agg.Scheme, horizonDays float64, products []string, walDir string) (*Service, *RecoveryReport, error) {
+	return OpenWAL(scheme, horizonDays, products, WALOptions{Dir: walDir, SnapshotEvery: 4096})
+}
+
+// OpenWAL is Open with explicit durability options.
+func OpenWAL(scheme agg.Scheme, horizonDays float64, products []string, opts WALOptions) (*Service, *RecoveryReport, error) {
+	s, err := New(scheme, horizonDays, products)
+	if err != nil {
+		return nil, nil, err
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		if opts.Dir == "" {
+			return nil, nil, errors.New("server: WAL dir required")
+		}
+		fsys, err = wal.OSDir(opts.Dir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: open WAL dir: %w", err)
+		}
+	}
+	w, rec, err := wal.Open(fsys, wal.Options{
+		SyncEvery:    opts.SyncEvery,
+		SyncInterval: opts.SyncInterval,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &RecoveryReport{TruncatedBytes: rec.TruncatedBytes}
+	if rec.Snapshot != nil {
+		for _, p := range rec.Snapshot.Products {
+			for _, r := range p.Ratings {
+				s.recoverRating(p.ID, r.Rater, r.Value, r.Day, &report.SnapshotRatings, report)
+			}
+		}
+	}
+	for _, r := range rec.Records {
+		s.recoverRating(r.Product, r.Rater, r.Value, r.Day, &report.ReplayedRatings, report)
+	}
+	s.wal = w
+	s.snapshotEvery = opts.SnapshotEvery
+	s.sinceSnapshot = len(rec.Records)
+	return s, report, nil
+}
+
+// recoverRating applies one recovered rating through the same validation
+// as Submit, folding the outcome into the recovery report. An exact
+// duplicate (same product, rater, value, day) is the expected residue of
+// a crash mid-Compact and is dropped silently; anything else invalid is
+// counted and sampled as a skip.
+func (s *Service) recoverRating(product, rater string, value, day float64, applied *int, report *RecoveryReport) {
+	err := s.applyLocked(product, rater, value, day)
+	switch {
+	case err == nil:
+		*applied++
+	case errors.Is(err, ErrDuplicateRating) && s.hasExactRating(product, rater, value, day):
+		report.DuplicateRecords++
+	default:
+		report.SkippedRecords++
+		if len(report.SkipReasons) < maxSkipReasons {
+			report.SkipReasons = append(report.SkipReasons,
+				fmt.Sprintf("%s/%s value=%v day=%v: %v", product, rater, value, day, err))
+		}
+	}
+}
+
+// hasExactRating reports whether rater's recorded rating on product has
+// exactly this value and day.
+func (s *Service) hasExactRating(product, rater string, value, day float64) bool {
+	p, err := s.data.Product(product)
+	if err != nil {
+		return false
+	}
+	for _, r := range p.Ratings {
+		if r.Rater == rater {
+			return r.Value == value && r.Day == day
+		}
+	}
+	return false
+}
+
+// SetLogger directs the service's operational log (request middleware,
+// degraded-mode recomputes, snapshot failures). The default discards.
+func (s *Service) SetLogger(l *log.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l == nil {
+		l = log.New(io.Discard, "", 0)
+	}
+	s.logger = l
+}
+
+func (s *Service) logf(format string, args ...any) {
+	s.mu.RLock()
+	l := s.logger
+	s.mu.RUnlock()
+	l.Printf(format, args...)
 }
 
 // Load seeds the service with an existing dataset (e.g. history read from
-// disk), replacing all current ratings.
+// disk), replacing all current ratings. On a durable service the loaded
+// dataset is immediately checkpointed so it survives a crash.
 func (s *Service) Load(d *dataset.Dataset) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -78,15 +257,35 @@ func (s *Service) Load(d *dataset.Dataset) error {
 		}
 		seen[p.ID] = m
 	}
-	s.data = d.Clone()
+	clone := d.Clone()
+	if s.wal != nil {
+		if err := s.wal.Compact(clone); err != nil {
+			return fmt.Errorf("%w: checkpoint loaded dataset: %v", ErrUnavailable, err)
+		}
+		s.sinceSnapshot = 0
+	}
+	s.data = clone
 	s.seen = seen
 	s.dirty = true
 	return nil
 }
 
-// Submit records one rating. The ground-truth Unfair flag of incoming
-// ratings is ignored — a live system has no oracle.
+// Submit records one rating, durably if the service has a WAL: the rating
+// is appended (and fsynced per the group-commit policy) before any
+// in-memory state changes, so an acknowledgement implies the rating will
+// survive a crash and a storage failure surfaces as ErrUnavailable rather
+// than a silent ack. The ground-truth Unfair flag of incoming ratings is
+// ignored — a live system has no oracle.
 func (s *Service) Submit(product, rater string, value, day float64) error {
+	// NaN fails every ordered comparison, so explicit finiteness checks
+	// must come first: without them a NaN value or day sails past the
+	// range guards and poisons every downstream aggregate.
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: non-finite value %v", ErrBadRating, value)
+	}
+	if math.IsNaN(day) || math.IsInf(day, 0) {
+		return fmt.Errorf("%w: non-finite day %v", ErrBadRating, day)
+	}
 	if value < dataset.MinValue || value > dataset.MaxValue {
 		return fmt.Errorf("%w: value %v", ErrBadRating, value)
 	}
@@ -95,24 +294,123 @@ func (s *Service) Submit(product, rater string, value, day float64) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkLocked(product, rater, day); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		rec := wal.Record{
+			Product: product, Rater: rater, Value: value, Day: day,
+			ReceivedUnixNano: s.now().UnixNano(),
+		}
+		if err := s.wal.Append(rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+	}
+	if err := s.applyLocked(product, rater, value, day); err != nil {
+		return err // unreachable after checkLocked; kept for safety
+	}
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+// checkLocked runs the stateful Submit validations (day range, product
+// existence, duplicate rater) without mutating anything.
+func (s *Service) checkLocked(product, rater string, day float64) error {
 	if day < 0 || day >= s.data.HorizonDays {
 		return fmt.Errorf("%w: day %v outside [0,%v)", ErrBadRating, day, s.data.HorizonDays)
 	}
-	p, err := s.data.Product(product)
-	if err != nil {
+	if _, err := s.data.Product(product); err != nil {
 		return fmt.Errorf("%w: %q", ErrUnknownProduct, product)
 	}
+	if s.seen[product][rater] {
+		return fmt.Errorf("%w: rater %q on %q", ErrDuplicateRating, rater, product)
+	}
+	return nil
+}
+
+// applyLocked validates and applies one rating to in-memory state. It is
+// the single mutation path shared by live submission and WAL replay, so
+// recovered state is governed by exactly the live rules.
+func (s *Service) applyLocked(product, rater string, value, day float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) || value < dataset.MinValue || value > dataset.MaxValue {
+		return fmt.Errorf("%w: value %v", ErrBadRating, value)
+	}
+	if rater == "" {
+		return fmt.Errorf("%w: empty rater", ErrBadRating)
+	}
+	if math.IsNaN(day) || math.IsInf(day, 0) {
+		return fmt.Errorf("%w: non-finite day %v", ErrBadRating, day)
+	}
+	if err := s.checkLocked(product, rater, day); err != nil {
+		return err
+	}
+	p, _ := s.data.Product(product)
 	raters, ok := s.seen[product]
 	if !ok {
 		raters = make(map[string]bool)
 		s.seen[product] = raters
 	}
-	if raters[rater] {
-		return fmt.Errorf("%w: rater %q on %q", ErrDuplicateRating, rater, product)
-	}
 	raters[rater] = true
 	p.Ratings = p.Ratings.Merge(dataset.Series{{Day: day, Value: value, Rater: rater}})
 	s.dirty = true
+	return nil
+}
+
+// maybeSnapshotLocked checkpoints and compacts the WAL once SnapshotEvery
+// ratings have accumulated since the last checkpoint. A checkpoint
+// failure is logged, not returned: the triggering rating is already
+// durable in the log, the snapshot only bounds recovery time.
+func (s *Service) maybeSnapshotLocked() {
+	s.sinceSnapshot++
+	if s.wal == nil || s.snapshotEvery <= 0 || s.sinceSnapshot < s.snapshotEvery {
+		return
+	}
+	s.sinceSnapshot = 0
+	if err := s.wal.Compact(s.data); err != nil {
+		s.logger.Printf("server: snapshot failed (will retry in %d ratings): %v", s.snapshotEvery, err)
+	}
+}
+
+// Checkpoint forces a snapshot + log compaction now. It is a no-op on a
+// non-durable service.
+func (s *Service) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Compact(s.data); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	s.sinceSnapshot = 0
+	return nil
+}
+
+// Close flushes and closes the WAL (if any). The service rejects further
+// durable submissions afterwards.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// Ready reports whether the service can safely take traffic: the WAL (if
+// configured) has no sticky storage failure and the last aggregate
+// recompute did not fail. It backs the /readyz probe.
+func (s *Service) Ready() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.wal != nil {
+		if err := s.wal.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+	}
+	if s.stale && s.staleErr != nil {
+		return fmt.Errorf("server: aggregates stale: %v", s.staleErr)
+	}
 	return nil
 }
 
@@ -134,15 +432,30 @@ func (s *Service) RatingCount(product string) (int, error) {
 	return len(p.Ratings), nil
 }
 
+// freshRLock returns holding the read lock with the aggregate cache
+// refreshed if it was dirty. Readers therefore serve the newest table
+// computed no later than their own start — when the cache is clean they
+// proceed concurrently under RLock and never serialize on the write lock.
+func (s *Service) freshRLock() {
+	s.mu.RLock()
+	if !s.dirty {
+		return
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	s.refreshLocked()
+	s.mu.Unlock()
+	s.mu.RLock()
+}
+
 // Scores returns the product's per-period aggregated ratings under the
 // service's scheme, recomputing if ratings arrived since the last call.
 func (s *Service) Scores(product string) ([]float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.freshRLock()
+	defer s.mu.RUnlock()
 	if _, err := s.data.Product(product); err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
 	}
-	s.refreshLocked()
 	scores := s.cached[product]
 	out := make([]float64, len(scores))
 	copy(out, scores)
@@ -158,22 +471,26 @@ type Report struct {
 	// other schemes).
 	Suspicious    int  `json:"suspicious"`
 	HasSuspicious bool `json:"hasSuspicious"`
+	// Stale is set when the last aggregate recompute failed (the scheme
+	// panicked) and Scores is the last successfully computed table —
+	// degraded service rather than no service.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // Inspect returns the defense report for a product. Suspicious-mark data
 // is only available when the service runs the P-scheme.
 func (s *Service) Inspect(product string) (Report, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.freshRLock()
+	defer s.mu.RUnlock()
 	p, err := s.data.Product(product)
 	if err != nil {
 		return Report{}, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
 	}
-	s.refreshLocked()
 	rep := Report{
 		Product: product,
 		Ratings: len(p.Ratings),
 		Scores:  append([]float64(nil), s.cached[product]...),
+		Stale:   s.stale,
 	}
 	if s.pResult != nil {
 		rep.HasSuspicious = true
@@ -189,28 +506,48 @@ func (s *Service) Inspect(product string) (Report, error) {
 // Trust returns the current trust in a rater (0.5 for unknown raters, and
 // always 0.5 when the scheme is not the P-scheme).
 func (s *Service) Trust(rater string) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.refreshLocked()
+	s.freshRLock()
+	defer s.mu.RUnlock()
 	if s.pResult == nil {
 		return 0.5
 	}
 	return s.pResult.Trust.Trust(rater)
 }
 
-// refreshLocked recomputes aggregates if ratings arrived. Callers must hold
-// the write lock.
+// refreshLocked recomputes aggregates if ratings arrived. Callers must
+// hold the write lock. A panicking scheme does not take the service down:
+// the previous table keeps being served, reports carry Stale, Ready
+// fails, and the next submission triggers another attempt.
 func (s *Service) refreshLocked() {
 	if !s.dirty {
 		return
 	}
+	table, pRes, err := s.evaluate()
+	s.dirty = false
+	if err != nil {
+		s.stale = true
+		s.staleErr = err
+		s.logger.Printf("server: aggregate recompute failed, serving stale table: %v", err)
+		return
+	}
+	s.cached = table
+	s.pResult = pRes
+	s.stale = false
+	s.staleErr = nil
+}
+
+// evaluate runs the scheme over the current dataset, converting a panic
+// into an error.
+func (s *Service) evaluate() (table agg.Table, pRes *agg.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			table, pRes = nil, nil
+			err = fmt.Errorf("scheme %s panicked: %v", s.scheme.Name(), r)
+		}
+	}()
 	if p, ok := s.scheme.(*agg.PScheme); ok {
 		res := p.Evaluate(s.data)
-		s.cached = res.Table
-		s.pResult = res
-	} else {
-		s.cached = s.scheme.Aggregates(s.data)
-		s.pResult = nil
+		return res.Table, res, nil
 	}
-	s.dirty = false
+	return s.scheme.Aggregates(s.data), nil, nil
 }

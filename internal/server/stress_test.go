@@ -1,0 +1,176 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/dataset"
+	"repro/internal/faultfs"
+	"repro/internal/stats"
+)
+
+// TestConcurrentStress interleaves Submit, Scores, Inspect, Trust,
+// RatingCount, Products and Load across many goroutines on a durable
+// service. Run under -race it is the data-race gate for the whole
+// submit/recompute/snapshot/read machinery; the closing invariant check
+// catches logical corruption (duplicate raters, out-of-range values).
+func TestConcurrentStress(t *testing.T) {
+	fs := faultfs.New()
+	svc, _, err := OpenWAL(agg.SAScheme{}, 90, []string{"tv1", "tv2"}, WALOptions{
+		FS: fs, SyncEvery: 8, SnapshotEvery: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 2
+	cfg.HorizonDays = 90
+	seedData, err := dataset.GenerateFair(stats.NewRNG(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers          = 8
+		ratingsPerWriter = 40
+		readers          = 4
+	)
+	var writeWG, readWG sync.WaitGroup
+	errs := make(chan error, writers+readers+1)
+	stop := make(chan struct{}) // closed once all writers (and Load) finish
+
+	for g := 0; g < writers; g++ {
+		writeWG.Add(1)
+		go func(g int) {
+			defer writeWG.Done()
+			product := []string{"tv1", "tv2"}[g%2]
+			for i := 0; i < ratingsPerWriter; i++ {
+				rater := fmt.Sprintf("w%dr%d", g, i)
+				if err := svc.Submit(product, rater, float64(i%6), float64(i%90)); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		readWG.Add(1)
+		go func(g int) {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := svc.Scores("tv1"); err != nil {
+					errs <- fmt.Errorf("reader %d scores: %w", g, err)
+					return
+				}
+				if _, err := svc.Inspect("tv2"); err != nil {
+					errs <- fmt.Errorf("reader %d inspect: %w", g, err)
+					return
+				}
+				svc.Trust(fmt.Sprintf("w0r%d", g))
+				if _, err := svc.RatingCount("tv1"); err != nil {
+					errs <- err
+					return
+				}
+				if got := len(svc.Products()); got != 2 {
+					errs <- fmt.Errorf("reader %d products = %d", g, got)
+					return
+				}
+			}
+		}(g)
+	}
+	// One goroutine races Load against the writers: a full dataset swap
+	// mid-traffic must neither trip the race detector nor corrupt the
+	// duplicate-rater index.
+	writeWG.Add(1)
+	go func() {
+		defer writeWG.Done()
+		if err := svc.Load(seedData); err != nil {
+			errs <- fmt.Errorf("load: %w", err)
+		}
+	}()
+
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Invariants: every product series is duplicate-free and every
+	// value/day in range, regardless of interleaving.
+	svc.mu.RLock()
+	defer svc.mu.RUnlock()
+	for _, p := range svc.data.Products {
+		seen := make(map[string]bool, len(p.Ratings))
+		for _, r := range p.Ratings {
+			if seen[r.Rater] {
+				t.Errorf("%s: rater %q appears twice", p.ID, r.Rater)
+			}
+			seen[r.Rater] = true
+			if r.Value < dataset.MinValue || r.Value > dataset.MaxValue {
+				t.Errorf("%s: value %v out of range", p.ID, r.Value)
+			}
+			if r.Day < 0 || r.Day >= 90 {
+				t.Errorf("%s: day %v out of range", p.ID, r.Day)
+			}
+		}
+	}
+}
+
+// BenchmarkScoresParallel measures the read path under concurrency with a
+// clean cache — the case the RLock fast path exists for. Before the
+// upgrade-on-dirty pattern every reader took the exclusive lock and
+// serialized; now clean reads proceed concurrently.
+func BenchmarkScoresParallel(b *testing.B) {
+	svc, err := New(agg.SAScheme{}, 90, []string{"tv1", "tv2"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := svc.Submit("tv1", fmt.Sprintf("r%d", i), float64(i%6), float64(i%90)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := svc.Scores("tv1"); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := svc.Scores("tv1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSubmitDurable measures the durable write path end to end
+// (validate → WAL append+fsync policy → merge) on the in-memory fault FS.
+func BenchmarkSubmitDurable(b *testing.B) {
+	for _, syncEvery := range []int{1, 32} {
+		b.Run(fmt.Sprintf("syncEvery=%d", syncEvery), func(b *testing.B) {
+			svc, _, err := OpenWAL(agg.SAScheme{}, 90, []string{"tv1"}, WALOptions{
+				FS: faultfs.New(), SyncEvery: syncEvery,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Submit("tv1", fmt.Sprintf("r%d", i), 4, float64(i%90)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

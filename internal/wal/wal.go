@@ -1,0 +1,314 @@
+// Package wal implements the write-ahead log that makes the online rating
+// service durable: an append-only, length-prefixed, CRC32-checksummed log
+// of submitted ratings plus periodic full-dataset snapshots, so recovery
+// after a crash costs O(snapshot + log tail) rather than O(all history).
+//
+// Layout inside the WAL directory:
+//
+//	snapshot.json  full dataset checkpoint (internal/dataset JSON encoding)
+//	wal.log        ratings appended since the snapshot
+//	snapshot.tmp   in-flight checkpoint; removed on open
+//
+// Durability contract: Append fsyncs per the group-commit policy
+// (SyncEvery/SyncInterval), so with SyncEvery=1 every acknowledged rating
+// is durable before Append returns; with a larger batch, up to
+// SyncEvery−1 acknowledged ratings may be lost to a crash — the standard
+// group-commit trade-off. A failed fsync poisons the log permanently
+// (the kernel may have dropped the dirty pages, so nothing written since
+// the last successful sync can be trusted); every later Append returns the
+// same error and the service must be restarted to recover.
+//
+// Crash safety: a torn final record (short header, short payload, or CRC
+// mismatch) is detected on open and truncated away; Compact orders its
+// writes (write tmp, fsync, rename, reset log) so that a crash at any
+// point leaves either the old snapshot+log or the new snapshot with a
+// possibly redundant log, which replay deduplicates.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// File names inside the WAL directory.
+const (
+	logName      = "wal.log"
+	snapshotName = "snapshot.json"
+	snapshotTmp  = "snapshot.tmp"
+)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// Options configures the group-commit policy.
+type Options struct {
+	// SyncEvery fsyncs after this many appended records. 0 or 1 means
+	// every append (strict durability); larger values amortize fsyncs
+	// under heavy traffic.
+	SyncEvery int
+	// SyncInterval, when positive, forces an fsync on the next Append once
+	// this much time has passed since the last sync, bounding the
+	// durability window of a lightly loaded batch.
+	SyncInterval time.Duration
+	// Now substitutes the wall clock, for tests. Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Snapshot is the last checkpoint, nil when none exists.
+	Snapshot *dataset.Dataset
+	// Records are the log records appended after the snapshot, in order.
+	Records []Record
+	// TruncatedBytes counts bytes of torn or corrupt log tail that were
+	// discarded (and physically truncated from the file).
+	TruncatedBytes int64
+}
+
+// WAL is an open write-ahead log. It is safe for concurrent use.
+type WAL struct {
+	mu       sync.Mutex
+	fs       FS
+	log      File
+	opts     Options
+	size     int64
+	pending  int // appends since last successful sync
+	lastSync time.Time
+	buf      []byte // scratch encode buffer
+	failed   error  // sticky fsync/write failure
+	closed   bool
+}
+
+// Open recovers the WAL state in fsys and opens the log for appending.
+// Torn trailing records are truncated from the log file; a leftover
+// temporary snapshot from a crashed Compact is removed.
+func Open(fsys FS, opts Options) (*WAL, *Recovery, error) {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.SyncEvery < 1 {
+		opts.SyncEvery = 1
+	}
+	if err := fsys.Remove(snapshotTmp); err != nil {
+		return nil, nil, fmt.Errorf("wal: remove stale snapshot tmp: %w", err)
+	}
+	rec := &Recovery{}
+	if err := readSnapshot(fsys, rec); err != nil {
+		return nil, nil, err
+	}
+	goodBytes, err := readLog(fsys, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := fsys.OpenAppend(logName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	w := &WAL{fs: fsys, log: f, opts: opts, size: goodBytes, lastSync: opts.Now()}
+	return w, rec, nil
+}
+
+func readSnapshot(fsys FS, rec *Recovery) error {
+	f, err := fsys.Open(snapshotName)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: open snapshot: %w", err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadJSON(f)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	rec.Snapshot = d
+	return nil
+}
+
+// readLog scans the log, collects checksum-valid records, and truncates
+// any torn tail. It returns the byte length of the valid prefix.
+func readLog(fsys FS, rec *Recovery) (int64, error) {
+	f, err := fsys.Open(logName)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: open log: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return 0, fmt.Errorf("wal: read log: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		r, n, ok := decodeRecord(data[off:])
+		if !ok {
+			break
+		}
+		rec.Records = append(rec.Records, r)
+		off += n
+	}
+	if torn := int64(len(data) - off); torn > 0 {
+		if err := fsys.Truncate(logName, int64(off)); err != nil {
+			return 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		rec.TruncatedBytes = torn
+	}
+	return int64(off), nil
+}
+
+// Append writes one record to the log and fsyncs per the group-commit
+// policy. When it returns nil the record is in the log (durably so if the
+// policy synced); when it returns an error nothing observable changed for
+// the caller and, for write/sync failures, the WAL is poisoned — see Err.
+func (w *WAL) Append(r Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	buf, err := appendRecord(w.buf[:0], r)
+	if err != nil {
+		return err // encoding error: caller bug, log not poisoned
+	}
+	w.buf = buf
+	n, err := w.log.Write(buf)
+	if err != nil {
+		// A short or failed write leaves garbage at the tail; the CRC scan
+		// on the next open truncates it. Nothing since the last sync is
+		// trustworthy, so poison the log.
+		w.failed = fmt.Errorf("wal: write (%d/%d bytes): %w", n, len(buf), err)
+		return w.failed
+	}
+	w.size += int64(n)
+	w.pending++
+	if w.pending >= w.opts.SyncEvery ||
+		(w.opts.SyncInterval > 0 && w.opts.Now().Sub(w.lastSync) >= w.opts.SyncInterval) {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.log.Sync(); err != nil {
+		w.failed = fmt.Errorf("wal: fsync: %w", err)
+		return w.failed
+	}
+	w.pending = 0
+	w.lastSync = w.opts.Now()
+	return nil
+}
+
+// Sync forces an fsync of the log regardless of the batch policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	return w.syncLocked()
+}
+
+// Compact checkpoints the full dataset and resets the log, bounding
+// recovery cost. Write order matters for crash safety:
+//
+//  1. write the dataset to snapshot.tmp and fsync it
+//  2. rename snapshot.tmp → snapshot.json (atomic)
+//  3. truncate the log to zero
+//
+// A crash before (2) leaves the old snapshot+log intact; a crash between
+// (2) and (3) leaves a snapshot that already contains the log's records —
+// recovery replays them as exact duplicates, which the service
+// deduplicates idempotently.
+func (w *WAL) Compact(d *dataset.Dataset) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	// Flush acknowledged records before checkpointing so the snapshot
+	// never gets ahead of the durable log.
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	f, err := w.fs.Create(snapshotTmp)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot tmp: %w", err)
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := w.fs.Rename(snapshotTmp, snapshotName); err != nil {
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	if err := w.fs.Truncate(logName, 0); err != nil {
+		// The snapshot is already live; a fat log only costs replay time
+		// (duplicates are skipped), but the truncate failure is still an
+		// FS fault worth surfacing.
+		return fmt.Errorf("wal: reset log: %w", err)
+	}
+	w.size = 0
+	w.pending = 0
+	return nil
+}
+
+// Size returns the current log length in bytes (excluding the snapshot).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Err returns the sticky write/fsync failure, if any. A non-nil result
+// means the log can no longer accept appends and the process should be
+// restarted; readiness probes surface this.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// Close flushes pending records and closes the log file. Appending to a
+// closed WAL returns ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var syncErr error
+	if w.failed == nil && w.pending > 0 {
+		if err := w.log.Sync(); err != nil {
+			syncErr = fmt.Errorf("wal: fsync on close: %w", err)
+		}
+	}
+	if err := w.log.Close(); err != nil && syncErr == nil {
+		syncErr = fmt.Errorf("wal: close log: %w", err)
+	}
+	return syncErr
+}
