@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -11,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detect"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/mp"
 	"repro/internal/stats"
@@ -330,6 +333,87 @@ func BenchmarkAblationPSchemeTrustOnly(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Aggregates(attacked)
+	}
+}
+
+// ---- Epoch-engine benches (see BENCH_engine.json for recorded baselines) ----
+
+// benchEngineDataset builds a larger workload than benchDataset — more
+// products and a longer horizon (10 trust epochs at 300 days) — so the
+// engine's epoch structure and per-product parallelism have something to
+// bite on.
+func benchEngineDataset(b *testing.B, products int, horizon float64) *dataset.Dataset {
+	b.Helper()
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = products
+	cfg.HorizonDays = horizon
+	d, err := dataset.GenerateFair(stats.NewRNG(11), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := core.NewGenerator(4, core.DefaultRaters(50))
+	prod, err := d.Product("tv1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	atk, err := gen.GenerateProduct(core.Profile{
+		Bias: -2.5, StdDev: 0.8, Count: 50, StartDay: horizon * 0.3,
+		DurationDays: 30, Correlation: core.Independent, Quantize: true,
+	}, prod.Ratings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.InjectUnfair("tv1", atk); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkEvaluateColdVsWarm contrasts a full from-scratch P-scheme
+// evaluation with the incremental path the server takes after one rating
+// lands in the last epoch: resume from the checkpoint at that epoch,
+// recompute the one-epoch suffix, and redo the final per-product pass.
+func BenchmarkEvaluateColdVsWarm(b *testing.B) {
+	d := benchEngineDataset(b, 5, 300)
+	eng := &engine.Engine{Detect: detect.DefaultConfig(), Workers: 1}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.Evaluate(d)
+		}
+	})
+	b.Run("warm-last-epoch", func(b *testing.B) {
+		st := engine.NewState()
+		eng.Resume(st, d) // prime all epoch checkpoints
+		lateDay := d.HorizonDays - 1
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Invalidate(lateDay)
+			eng.Resume(st, d)
+		}
+	})
+	b.Run("warm-mid-history", func(b *testing.B) {
+		st := engine.NewState()
+		eng.Resume(st, d)
+		midDay := d.HorizonDays / 2 // half the epochs must re-run
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Invalidate(midDay)
+			eng.Resume(st, d)
+		}
+	})
+}
+
+// BenchmarkEvaluateParallel measures the same cold evaluation with the
+// per-product fan-out disabled (1 worker) and at full width.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	d := benchEngineDataset(b, 8, 300)
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			eng := &engine.Engine{Detect: detect.DefaultConfig(), Workers: w}
+			for i := 0; i < b.N; i++ {
+				eng.Evaluate(d)
+			}
+		})
 	}
 }
 

@@ -29,15 +29,16 @@ func main() {
 		schemes = flag.String("schemes", "P", "comma-separated schemes to evaluate (SA, BF, WBF, ENT, CLU, P, P-online)")
 		export  = flag.String("export", "", "write the population (with first scheme's scores) to this JSON file")
 		imprt   = flag.String("import", "", "score an archived population from this JSON file instead of simulating one")
+		workers = flag.Int("workers", 0, "P-scheme per-product analysis workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *subs, *seed, *top, *schemes, *export, *imprt); err != nil {
+	if err := run(os.Stdout, *subs, *seed, *top, *schemes, *export, *imprt, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "ratingchallenge:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, subs int, seed uint64, top int, schemeList, exportPath, importPath string) error {
+func run(w io.Writer, subs int, seed uint64, top int, schemeList, exportPath, importPath string, workers int) error {
 	cfg := challenge.DefaultConfig()
 	c, err := challenge.New(cfg)
 	if err != nil {
@@ -70,7 +71,7 @@ func run(w io.Writer, subs int, seed uint64, top int, schemeList, exportPath, im
 	var firstScored []challenge.Scored
 	var firstScheme string
 	for _, name := range strings.Split(schemeList, ",") {
-		scheme, err := schemeByName(strings.TrimSpace(name))
+		scheme, err := schemeByName(strings.TrimSpace(name), workers)
 		if err != nil {
 			return err
 		}
@@ -107,7 +108,7 @@ func run(w io.Writer, subs int, seed uint64, top int, schemeList, exportPath, im
 	return nil
 }
 
-func schemeByName(name string) (agg.Scheme, error) {
+func schemeByName(name string, workers int) (agg.Scheme, error) {
 	switch name {
 	case "SA":
 		return agg.SAScheme{}, nil
@@ -120,7 +121,9 @@ func schemeByName(name string) (agg.Scheme, error) {
 	case "CLU":
 		return agg.NewClusteringScheme(), nil
 	case "P":
-		return agg.NewPScheme(), nil
+		p := agg.NewPScheme()
+		p.Workers = workers
+		return p, nil
 	case "P-online":
 		return agg.NewOnlinePScheme(), nil
 	default:

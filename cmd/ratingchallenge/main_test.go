@@ -8,7 +8,7 @@ import (
 
 func TestRunLeaderboard(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 8, 1, 3, "SA", "", ""); err != nil {
+	if err := run(&buf, 8, 1, 3, "SA", "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -29,7 +29,7 @@ func TestRunLeaderboard(t *testing.T) {
 
 func TestRunMultipleSchemes(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 5, 2, 2, "SA, BF", "", ""); err != nil {
+	if err := run(&buf, 5, 2, 2, "SA, BF", "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -40,26 +40,26 @@ func TestRunMultipleSchemes(t *testing.T) {
 
 func TestRunUnknownScheme(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 5, 2, 2, "XX", "", ""); err == nil {
+	if err := run(&buf, 5, 2, 2, "XX", "", "", 0); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }
 
 func TestSchemeByName(t *testing.T) {
 	for _, name := range []string{"SA", "BF", "P"} {
-		s, err := schemeByName(name)
+		s, err := schemeByName(name, 0)
 		if err != nil || s.Name() != name {
 			t.Errorf("schemeByName(%s) = %v, %v", name, s, err)
 		}
 	}
-	if _, err := schemeByName("nope"); err == nil {
+	if _, err := schemeByName("nope", 0); err == nil {
 		t.Error("unknown name accepted")
 	}
 }
 
 func TestRunTopLargerThanPopulation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, 1, 99, "SA", "", ""); err != nil {
+	if err := run(&buf, 3, 1, 99, "SA", "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "\n   3 ") {
@@ -71,14 +71,14 @@ func TestRunExportImportRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/population.json"
 	var buf bytes.Buffer
-	if err := run(&buf, 4, 9, 2, "SA", path, ""); err != nil {
+	if err := run(&buf, 4, 9, 2, "SA", path, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "exported the population") {
 		t.Error("missing export confirmation")
 	}
 	var buf2 bytes.Buffer
-	if err := run(&buf2, 0, 0, 2, "SA", "", path); err != nil {
+	if err := run(&buf2, 0, 0, 2, "SA", "", path, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf2.String(), "imported 4 archived submissions") {
@@ -95,7 +95,7 @@ func TestRunExportImportRoundTrip(t *testing.T) {
 
 func TestRunImportMissingFile(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 0, 2, "SA", "", "/no/such/file.json"); err == nil {
+	if err := run(&buf, 0, 0, 2, "SA", "", "/no/such/file.json", 0); err == nil {
 		t.Error("missing import file accepted")
 	}
 }

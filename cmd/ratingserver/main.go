@@ -17,6 +17,12 @@
 //
 // With -seed-history the server starts pre-loaded with synthetic fair
 // rating history, which makes the defense meaningful from the first query.
+//
+// Under the P-scheme, aggregate recomputes run on the epoch-checkpointed
+// incremental engine: a submit only re-evaluates the trust epochs from the
+// rating's day forward, and each epoch analyzes its products in parallel.
+// -workers bounds that parallelism (0 = GOMAXPROCS, 1 = serial); results
+// are bit-identical at any width.
 package main
 
 import (
@@ -49,12 +55,14 @@ func main() {
 		walDir   = flag.String("wal-dir", "", "write-ahead log directory (empty = in-memory, non-durable)")
 		syncEv   = flag.Int("sync-every", 1, "fsync the WAL every N accepted ratings (group commit)")
 		snapEv   = flag.Int("snapshot-every", 4096, "checkpoint the dataset and compact the WAL every N ratings (0 = never)")
+		workers  = flag.Int("workers", 0, "P-scheme per-product analysis workers per recompute (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if err := run(config{
 		addr: *addr, scheme: *scheme, products: *products, horizon: *horizon,
 		seedHist: *seedHist, seed: *seed,
 		walDir: *walDir, syncEvery: *syncEv, snapshotEvery: *snapEv,
+		workers: *workers,
 	}); err != nil {
 		log.Fatal("ratingserver: ", err)
 	}
@@ -71,6 +79,8 @@ type config struct {
 	walDir        string
 	syncEvery     int
 	snapshotEvery int
+
+	workers int
 }
 
 // buildService assembles the rating service from the CLI parameters; split
@@ -84,7 +94,9 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 	case "BF":
 		scheme = agg.NewBFScheme()
 	case "P":
-		scheme = agg.NewPScheme()
+		p := agg.NewPScheme()
+		p.Workers = cfg.workers
+		scheme = p
 	default:
 		return nil, nil, fmt.Errorf("unknown scheme %q", cfg.scheme)
 	}

@@ -17,28 +17,21 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/epoch"
 )
 
 // PeriodDays is the aggregation period of the rating challenge (30 days).
-const PeriodDays = 30.0
+// The period calendar lives in internal/epoch (shared with the evaluation
+// engine); these re-exports keep the scheme layer's public API stable.
+const PeriodDays = epoch.PeriodDays
 
 // Periods returns the number of (possibly partial) aggregation periods
 // covering [0, horizon).
-func Periods(horizon float64) int {
-	if horizon <= 0 {
-		return 0
-	}
-	return int(math.Ceil(horizon / PeriodDays))
-}
+func Periods(horizon float64) int { return epoch.Periods(horizon) }
 
 // PeriodInterval returns the day range [start, end) of period i.
 func PeriodInterval(i int, horizon float64) (start, end float64) {
-	start = float64(i) * PeriodDays
-	end = start + PeriodDays
-	if end > horizon {
-		end = horizon
-	}
-	return start, end
+	return epoch.PeriodInterval(i, horizon)
 }
 
 // Table holds per-product aggregated ratings, one value per 30-day period.

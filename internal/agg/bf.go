@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/epoch"
 	"repro/internal/stats"
 	"repro/internal/trust"
 )
@@ -105,26 +106,7 @@ func (b *BFScheme) filter(period dataset.Series) []bool {
 }
 
 // weightedMean aggregates the kept ratings of a period with the given
-// per-rater weight function. It falls back to the simple mean of the kept
-// ratings when all weights vanish, and to the simple mean of the whole
-// period when everything was filtered.
+// per-rater weight function; see epoch.WeightedMean for the fallback rules.
 func weightedMean(period dataset.Series, kept []bool, weight func(string) float64) float64 {
-	var num, den float64
-	var keptVals []float64
-	for i, r := range period {
-		if kept != nil && !kept[i] {
-			continue
-		}
-		keptVals = append(keptVals, r.Value)
-		w := weight(r.Rater)
-		num += w * r.Value
-		den += w
-	}
-	if den > 1e-12 {
-		return num / den
-	}
-	if len(keptVals) > 0 {
-		return stats.Mean(keptVals)
-	}
-	return period.Mean()
+	return epoch.WeightedMean(period, kept, weight)
 }

@@ -85,17 +85,16 @@ func (p *OnlinePScheme) Aggregates(d *dataset.Dataset) Table {
 }
 
 func (p *OnlinePScheme) publish(s dataset.Series, marks []bool, lo, hi float64, mgr *trust.Manager) float64 {
-	var period dataset.Series
-	var kept []bool
-	for i, r := range s {
-		if r.Day < lo || r.Day >= hi {
-			continue
-		}
-		period = append(period, r)
-		kept = append(kept, !marks[i])
-	}
-	if len(period) == 0 {
+	// Slice the (sorted) period by index so the marks align by offset —
+	// O(len(period) + log len(s)) instead of a full-series scan per period.
+	start, end := s.BetweenIndex(lo, hi)
+	if start == end {
 		return math.NaN()
+	}
+	period := s[start:end]
+	kept := make([]bool, len(period))
+	for j := range period {
+		kept[j] = !marks[start+j]
 	}
 	return weightedMean(period, kept, func(rater string) float64 {
 		return math.Max(mgr.Trust(rater)-0.5, 0)

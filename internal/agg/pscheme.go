@@ -1,10 +1,9 @@
 package agg
 
 import (
-	"math"
-
 	"repro/internal/dataset"
 	"repro/internal/detect"
+	"repro/internal/engine"
 	"repro/internal/trust"
 )
 
@@ -14,6 +13,11 @@ import (
 // suspicious ratings, Procedure 1 folds the marks into per-rater beta trust,
 // the rating filter drops marked ratings, and Eq. 7 aggregates the rest with
 // weights max(T−0.5, 0).
+//
+// PScheme is a thin wrapper over internal/engine, which runs the pipeline in
+// explicit stages with per-product parallelism inside each epoch. Callers
+// that want checkpointed incremental re-evaluation (internal/server) obtain
+// the engine via Engine and drive engine.EvalState directly.
 type PScheme struct {
 	// Detect configures the four detectors and the fusion.
 	Detect detect.Config
@@ -23,6 +27,9 @@ type PScheme struct {
 	// DisableTrustWeighting aggregates with equal weights instead of
 	// Eq. 7's max(T−0.5, 0) (ablation: the rating filter alone).
 	DisableTrustWeighting bool
+	// Workers bounds the engine's per-product parallelism: 0 means
+	// GOMAXPROCS, 1 runs serially. Results are bit-identical either way.
+	Workers int
 }
 
 var _ Scheme = (*PScheme)(nil)
@@ -35,6 +42,16 @@ func NewPScheme() *PScheme {
 
 // Name implements Scheme.
 func (*PScheme) Name() string { return "P" }
+
+// Engine returns the evaluation engine configured like this scheme.
+func (p *PScheme) Engine() *engine.Engine {
+	return &engine.Engine{
+		Detect:                p.Detect,
+		DisableFilter:         p.DisableFilter,
+		DisableTrustWeighting: p.DisableTrustWeighting,
+		Workers:               p.Workers,
+	}
+}
 
 // Result is the full outcome of a P-scheme evaluation, exposing the
 // per-rating suspicious marks and the final trust state for analysis.
@@ -55,86 +72,6 @@ func (p *PScheme) Aggregates(d *dataset.Dataset) Table {
 // Evaluate runs the full pipeline and returns the aggregates along with the
 // suspicious marks and final rater trust.
 func (p *PScheme) Evaluate(d *dataset.Dataset) *Result {
-	mgr := trust.NewManager()
-	n := Periods(d.HorizonDays)
-	res := &Result{
-		Table:      make(Table, len(d.Products)),
-		Suspicious: make(map[string][]bool, len(d.Products)),
-		Trust:      mgr,
-	}
-	for _, prod := range d.Products {
-		res.Suspicious[prod.ID] = make([]bool, len(prod.Ratings))
-	}
-
-	// Trust epochs (Procedure 1): at each epoch boundary, analyze the data
-	// observed so far with the current trust, judge this epoch's ratings,
-	// and fold the marks into rater trust. Trust accumulation is causal.
-	for epoch := 0; epoch < n; epoch++ {
-		lo, hi := PeriodInterval(epoch, d.HorizonDays)
-		type counts struct{ n, f int }
-		perRater := make(map[string]counts)
-		for _, prod := range d.Products {
-			seen := prod.Ratings.Between(0, hi)
-			rep := detect.Analyze(seen, hi, p.Detect, mgr)
-			for i, r := range seen {
-				if r.Day < lo {
-					continue // earlier epoch already judged it
-				}
-				c := perRater[r.Rater]
-				c.n++
-				if rep.Suspicious[i] {
-					c.f++
-				}
-				perRater[r.Rater] = c
-			}
-		}
-		for rater, c := range perRater {
-			mgr.Observe(rater, c.n, c.f)
-		}
-	}
-
-	// Final suspicious marks come from an offline pass over the full
-	// series with the final trust: an attack only visible once its end is
-	// in view (e.g. one running from day 0) is still filtered from the
-	// periods it poisoned.
-	for _, prod := range d.Products {
-		rep := detect.Analyze(prod.Ratings, d.HorizonDays, p.Detect, mgr)
-		copy(res.Suspicious[prod.ID], rep.Suspicious)
-	}
-
-	// Final aggregation: filter marked ratings, weight the rest by
-	// max(T−0.5, 0) (Eq. 7).
-	for _, prod := range d.Products {
-		scores := make([]float64, n)
-		marks := res.Suspicious[prod.ID]
-		for i := 0; i < n; i++ {
-			lo, hi := PeriodInterval(i, d.HorizonDays)
-			scores[i] = p.aggregatePeriod(prod.Ratings, marks, lo, hi, mgr)
-		}
-		res.Table[prod.ID] = scores
-	}
-	return res
-}
-
-func (p *PScheme) aggregatePeriod(s dataset.Series, marks []bool, lo, hi float64, mgr *trust.Manager) float64 {
-	// Indices of the period within the full series.
-	var period dataset.Series
-	var kept []bool
-	for i, r := range s {
-		if r.Day < lo || r.Day >= hi {
-			continue
-		}
-		period = append(period, r)
-		kept = append(kept, p.DisableFilter || !marks[i])
-	}
-	if len(period) == 0 {
-		return math.NaN()
-	}
-	weight := func(rater string) float64 {
-		return math.Max(mgr.Trust(rater)-0.5, 0)
-	}
-	if p.DisableTrustWeighting {
-		weight = func(string) float64 { return 1 }
-	}
-	return weightedMean(period, kept, weight)
+	res := p.Engine().Evaluate(d)
+	return &Result{Table: Table(res.Table), Suspicious: res.Suspicious, Trust: res.Trust}
 }

@@ -99,9 +99,18 @@ func (s Series) Merge(other Series) Series {
 // Between returns the sub-series with Day in [lo, hi). The receiver must be
 // sorted. The result aliases the receiver's backing array.
 func (s Series) Between(lo, hi float64) Series {
-	start := sort.Search(len(s), func(i int) bool { return s[i].Day >= lo })
-	end := sort.Search(len(s), func(i int) bool { return s[i].Day >= hi })
+	start, end := s.BetweenIndex(lo, hi)
 	return s[start:end]
+}
+
+// BetweenIndex returns the index range [start, end) of the ratings with Day
+// in [lo, hi). The receiver must be sorted. It lets callers holding
+// per-rating side data (e.g. suspicious marks aligned with the series) slice
+// a period and its marks by offset instead of rescanning the whole series.
+func (s Series) BetweenIndex(lo, hi float64) (start, end int) {
+	start = sort.Search(len(s), func(i int) bool { return s[i].Day >= lo })
+	end = sort.Search(len(s), func(i int) bool { return s[i].Day >= hi })
+	return start, end
 }
 
 // Fair returns only the fair (ground-truth honest) ratings.

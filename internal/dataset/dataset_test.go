@@ -358,3 +358,54 @@ func TestGenerateFairJShape(t *testing.T) {
 		t.Error("JShare > 1 accepted")
 	}
 }
+
+func TestBetweenIndex(t *testing.T) {
+	s := sampleSeries()
+	s.Sort() // days 1.0, 2.2, 3.5, 9.9
+	tests := []struct {
+		lo, hi     float64
+		start, end int
+	}{
+		{0, 10, 0, 4},
+		{1.0, 3.5, 0, 2}, // half-open: day 3.5 excluded
+		{2.2, 10, 1, 4},
+		{4, 9, 3, 3}, // empty range between ratings
+		{-5, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		start, end := s.BetweenIndex(tt.lo, tt.hi)
+		if start != tt.start || end != tt.end {
+			t.Errorf("BetweenIndex(%v,%v) = (%d,%d), want (%d,%d)",
+				tt.lo, tt.hi, start, end, tt.start, tt.end)
+		}
+	}
+}
+
+// Property: Between is exactly the subslice named by BetweenIndex, and every
+// in-range rating is inside it.
+func TestBetweenIndexMatchesBetweenProperty(t *testing.T) {
+	f := func(days []float64, loRaw, spanRaw float64) bool {
+		s := make(Series, len(days))
+		for i, d := range days {
+			s[i] = Rating{Day: math.Mod(math.Abs(d), 100), Value: 3}
+		}
+		s.Sort()
+		lo := math.Mod(math.Abs(loRaw), 100)
+		hi := lo + math.Mod(math.Abs(spanRaw), 100)
+		start, end := s.BetweenIndex(lo, hi)
+		if start < 0 || end < start || end > len(s) {
+			return false
+		}
+		for i, r := range s {
+			inRange := r.Day >= lo && r.Day < hi
+			inSlice := i >= start && i < end
+			if inRange != inSlice {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

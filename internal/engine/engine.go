@@ -1,0 +1,245 @@
+// Package engine is the epoch-structured evaluation engine behind the
+// P-scheme (internal/agg.PScheme). It decomposes the pipeline of Section IV
+// into explicit stages
+//
+//	per-product epoch analysis → per-rater trust fold → final marks → Eq. 7 aggregation
+//
+// operating on a checkpointable EvalState that snapshots rater trust at
+// every epoch boundary. Two properties of Procedure 1 make the engine both
+// parallel and incremental:
+//
+//   - Within one epoch, rater trust is frozen: every product's detector
+//     analysis reads the same trust snapshot and no product's marks feed
+//     another product until the fold at the epoch boundary. Per-product
+//     detect.Analyze calls are therefore independent and fan out over a
+//     bounded worker pool.
+//
+//   - Trust accumulation is strictly causal: the state at the start of
+//     epoch e is a pure function of the ratings with Day < 30·e. A new
+//     rating on day d can only perturb epochs ≥ epoch(d), so evaluation
+//     resumes from the checkpoint at epoch(d) and reuses every earlier
+//     epoch's trust fold verbatim.
+//
+// Both paths are bit-exact with a cold, serial evaluation: epoch counts are
+// integers (order-independent), each rater is folded exactly once per epoch,
+// and the detector stack is deterministic, so neither worker scheduling nor
+// checkpoint reuse can change a single output bit (see the equivalence
+// property tests).
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/epoch"
+	"repro/internal/trust"
+)
+
+// Engine evaluates a dataset under the P-scheme pipeline. The zero value
+// is not useful; set Detect (e.g. detect.DefaultConfig()).
+type Engine struct {
+	// Detect configures the four detectors and the fusion.
+	Detect detect.Config
+	// DisableFilter keeps suspicious ratings in the aggregation (ablation).
+	DisableFilter bool
+	// DisableTrustWeighting aggregates with equal weights instead of
+	// Eq. 7's max(T−0.5, 0) (ablation).
+	DisableTrustWeighting bool
+	// Workers bounds the per-product analysis parallelism within an epoch:
+	// 0 means GOMAXPROCS, 1 runs serially.
+	Workers int
+}
+
+// New returns an engine with the given detector configuration.
+func New(cfg detect.Config) *Engine { return &Engine{Detect: cfg} }
+
+// Result is the full outcome of an evaluation: the per-product per-period
+// aggregates, the per-rating suspicious marks (aligned with each product's
+// sorted series), and the final trust state.
+type Result struct {
+	Table      map[string][]float64
+	Suspicious map[string][]bool
+	Trust      *trust.Manager
+}
+
+// Evaluate runs the full pipeline cold (no checkpoint reuse).
+func (e *Engine) Evaluate(d *dataset.Dataset) *Result {
+	return e.Resume(NewState(), d)
+}
+
+// Resume brings st up to date with the dataset and returns the evaluation
+// result. Epochs already checkpointed in st are reused verbatim; the caller
+// must have called st.Invalidate(day) for every rating day added, removed
+// or modified since the state was last resumed (NewState, or a state whose
+// product set or horizon changed, recomputes everything).
+func (e *Engine) Resume(st *EvalState, d *dataset.Dataset) *Result {
+	if !st.matches(d) {
+		st.reset(d)
+	}
+	n := epoch.Periods(d.HorizonDays)
+
+	// Stages 1+2 (per-product epoch analysis, per-rater trust fold):
+	// resume Procedure 1 from the newest surviving checkpoint. The working
+	// manager is a clone, so earlier checkpoints — and any previously
+	// returned Result — are never mutated.
+	mgr := st.checkpoints[len(st.checkpoints)-1].Clone()
+	for ep := len(st.checkpoints) - 1; ep < n; ep++ {
+		e.runEpoch(d, ep, mgr)
+		st.checkpoints = append(st.checkpoints, mgr.Clone())
+	}
+
+	// Stages 3+4 (final marks, Eq. 7 aggregation): an offline pass per
+	// product over the full series with the final trust, so an attack only
+	// visible once its end is in view is still filtered from the periods
+	// it poisoned. The final trust changes on virtually every new rating
+	// (the rating itself is judged), so this pass is not checkpointed —
+	// its cost is one analysis per product, a constant independent of the
+	// epoch count. Trust is read-only here, so products fan out freely.
+	marks := make([][]bool, len(d.Products))
+	scores := make([][]float64, len(d.Products))
+	e.forEachProduct(len(d.Products), func(i int) {
+		prod := &d.Products[i]
+		rep := detect.Analyze(prod.Ratings, d.HorizonDays, e.Detect, mgr)
+		marks[i] = rep.Suspicious
+		scores[i] = e.aggregateProduct(prod.Ratings, rep.Suspicious, d.HorizonDays, mgr)
+	})
+
+	res := &Result{
+		Table:      make(map[string][]float64, len(d.Products)),
+		Suspicious: make(map[string][]bool, len(d.Products)),
+		Trust:      mgr,
+	}
+	for i, prod := range d.Products {
+		res.Table[prod.ID] = scores[i]
+		res.Suspicious[prod.ID] = marks[i]
+	}
+	return res
+}
+
+// raterCounts is one rater's in-epoch evidence: n ratings observed, f of
+// them marked suspicious.
+type raterCounts struct{ n, f int }
+
+// runEpoch executes one trust epoch of Procedure 1: analyze every product's
+// prefix [0, end-of-epoch) under the trust at the epoch start, count each
+// rater's (observed, suspicious) ratings inside the epoch, and fold the
+// counts into mgr. Analysis fans out per product; the fold happens after
+// the pool drains, so mgr is read-only while workers run.
+func (e *Engine) runEpoch(d *dataset.Dataset, ep int, mgr *trust.Manager) {
+	lo, hi := epoch.PeriodInterval(ep, d.HorizonDays)
+	perProduct := make([]map[string]raterCounts, len(d.Products))
+	e.forEachProduct(len(d.Products), func(i int) {
+		prod := &d.Products[i]
+		seen := prod.Ratings.Between(0, hi)
+		if len(seen) == 0 {
+			return
+		}
+		rep := detect.Analyze(seen, hi, e.Detect, mgr)
+		var counts map[string]raterCounts
+		for j, r := range seen {
+			if r.Day < lo {
+				continue // earlier epoch already judged it
+			}
+			if counts == nil {
+				counts = make(map[string]raterCounts)
+			}
+			c := counts[r.Rater]
+			c.n++
+			if rep.Suspicious[j] {
+				c.f++
+			}
+			counts[r.Rater] = c
+		}
+		perProduct[i] = counts
+	})
+
+	// Merge and fold. Counts are integers and each rater is observed once
+	// per epoch with its total, so neither the merge order nor the map
+	// iteration order of the fold can change any trust record.
+	total := make(map[string]raterCounts)
+	for _, counts := range perProduct {
+		for rater, c := range counts {
+			t := total[rater]
+			t.n += c.n
+			t.f += c.f
+			total[rater] = t
+		}
+	}
+	for rater, c := range total {
+		mgr.Observe(rater, c.n, c.f)
+	}
+}
+
+// aggregateProduct computes one product's per-period scores (Eq. 7): marked
+// ratings are dropped, the rest weighted by max(T−0.5, 0). Each period is
+// sliced out of the sorted series by index, so the whole table costs
+// O(len(s) + periods·log len(s)) instead of a full scan per period.
+func (e *Engine) aggregateProduct(s dataset.Series, susMarks []bool, horizon float64, mgr *trust.Manager) []float64 {
+	n := epoch.Periods(horizon)
+	scores := make([]float64, n)
+	weight := func(rater string) float64 {
+		return math.Max(mgr.Trust(rater)-0.5, 0)
+	}
+	if e.DisableTrustWeighting {
+		weight = func(string) float64 { return 1 }
+	}
+	var kept []bool
+	for i := 0; i < n; i++ {
+		lo, hi := epoch.PeriodInterval(i, horizon)
+		start, end := s.BetweenIndex(lo, hi)
+		if start == end {
+			scores[i] = math.NaN()
+			continue
+		}
+		period := s[start:end]
+		kept = kept[:0]
+		for j := range period {
+			kept = append(kept, e.DisableFilter || !susMarks[start+j])
+		}
+		scores[i] = epoch.WeightedMean(period, kept, weight)
+	}
+	return scores
+}
+
+// workers resolves the effective pool size.
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachProduct runs fn(i) for i in [0, n) over a bounded worker pool in
+// the current goroutine plus up to workers()−1 helpers. fn must only write
+// state owned by index i.
+func (e *Engine) forEachProduct(n int, fn func(i int)) {
+	w := e.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

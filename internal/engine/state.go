@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/epoch"
+	"repro/internal/trust"
+)
+
+// EvalState is the engine's checkpointable state: a trust snapshot at every
+// completed epoch boundary. checkpoints[e] is rater trust at the *start* of
+// epoch e — i.e. after folding epochs [0, e) — so checkpoints[0] is the
+// empty manager and, once an evaluation has run, the last element is the
+// final trust. A state is bound to one dataset identity (product set +
+// horizon); Resume resets it transparently if either changes.
+//
+// An EvalState is not safe for concurrent use; callers (internal/server)
+// serialize Resume/Invalidate under their own lock.
+type EvalState struct {
+	horizon     float64
+	products    []string
+	checkpoints []*trust.Manager
+}
+
+// NewState returns an empty state; the first Resume evaluates from scratch.
+func NewState() *EvalState { return &EvalState{} }
+
+// CompletedEpochs reports how many trust epochs are checkpointed (0 for a
+// fresh or fully invalidated state).
+func (st *EvalState) CompletedEpochs() int {
+	if len(st.checkpoints) == 0 {
+		return 0
+	}
+	return len(st.checkpoints) - 1
+}
+
+// Invalidate drops every checkpoint at or after the epoch containing day:
+// a rating added (or removed) on that day changes the epoch's per-rater
+// counts, and through the trust fold every later epoch. Earlier epochs are
+// untouched — their folds depend only on ratings strictly before the
+// epoch boundary. Invalidating an already-invalid state is a no-op.
+func (st *EvalState) Invalidate(day float64) {
+	if len(st.checkpoints) == 0 {
+		return
+	}
+	e := epoch.PeriodOf(day, st.horizon)
+	if e+1 < len(st.checkpoints) {
+		// Drop references so the trust snapshots can be collected.
+		for i := e + 1; i < len(st.checkpoints); i++ {
+			st.checkpoints[i] = nil
+		}
+		st.checkpoints = st.checkpoints[:e+1]
+	}
+}
+
+// matches reports whether the state's checkpoints were computed for this
+// dataset identity.
+func (st *EvalState) matches(d *dataset.Dataset) bool {
+	if len(st.checkpoints) == 0 || st.horizon != d.HorizonDays || len(st.products) != len(d.Products) {
+		return false
+	}
+	for i, p := range d.Products {
+		if st.products[i] != p.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// reset rebinds the state to the dataset and discards all checkpoints.
+func (st *EvalState) reset(d *dataset.Dataset) {
+	st.horizon = d.HorizonDays
+	st.products = d.ProductIDs()
+	st.checkpoints = []*trust.Manager{trust.NewManager()}
+}

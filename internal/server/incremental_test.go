@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// The service's epoch-suffix invalidation must be invisible to clients:
+// interleaved Submits with reads forced in between (so the engine resumes
+// from checkpoints many times, including after out-of-order days that
+// invalidate mid-history epochs) must end bit-exact with a from-scratch
+// PScheme.Evaluate over the final dataset.
+func TestIncrementalServerMatchesBatchEvaluate(t *testing.T) {
+	const (
+		horizon  = 150.0
+		nSubmits = 400
+	)
+	products := []string{"tv1", "tv2", "tv3"}
+	svc, err := New(agg.NewPScheme(), horizon, products)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror dataset: the same ratings applied in the same order, so the
+	// reference evaluation sees byte-identical series (Merge keeps
+	// same-day ratings in insertion order).
+	mirror := &dataset.Dataset{HorizonDays: horizon}
+	for _, id := range products {
+		mirror.Products = append(mirror.Products, dataset.Product{ID: id})
+	}
+
+	rng := stats.NewRNG(17)
+	var raters []string
+	for i := 0; i < nSubmits; i++ {
+		product := products[rng.IntN(len(products))]
+		rater := fmt.Sprintf("r%d", i)
+		day := rng.Float64() * horizon // random order: constant mid-history invalidation
+		value := dataset.QuantizeHalfStar(rng.Float64() * 5)
+		if err := svc.Submit(product, rater, value, day); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		p, err := mirror.Product(product)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Ratings = p.Ratings.Merge(dataset.Series{{Day: day, Value: value, Rater: rater}})
+		raters = append(raters, rater)
+
+		// Force a recompute mid-stream every so often, so the final state
+		// is the product of many incremental resumes, not one.
+		if i%25 == 24 {
+			if _, err := svc.Scores(products[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ref := agg.NewPScheme().Evaluate(mirror)
+	for _, id := range products {
+		got, err := svc.Scores(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Table[id]
+		if len(got) != len(want) {
+			t.Fatalf("product %s: %d periods, want %d", id, len(got), len(want))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("product %s period %d: incremental %v, batch %v", id, i, got[i], want[i])
+			}
+		}
+		rep, err := svc.Inspect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSus := 0
+		for _, m := range ref.Suspicious[id] {
+			if m {
+				wantSus++
+			}
+		}
+		if rep.Suspicious != wantSus {
+			t.Errorf("product %s: %d suspicious marks, batch says %d", id, rep.Suspicious, wantSus)
+		}
+	}
+	for _, rater := range raters {
+		if got, want := svc.Trust(rater), ref.Trust.Trust(rater); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("trust(%s): incremental %v, batch %v", rater, got, want)
+		}
+	}
+}
+
+// A Submit on an already-evaluated early epoch must invalidate the whole
+// suffix — the cheap path may only be taken when history after the
+// submitted day is genuinely unchanged.
+func TestOutOfOrderSubmitInvalidatesSuffix(t *testing.T) {
+	svc, err := New(agg.NewPScheme(), 150, []string{"tv1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := &dataset.Dataset{HorizonDays: 150, Products: []dataset.Product{{ID: "tv1"}}}
+	rng := stats.NewRNG(5)
+	add := func(rater string, day, value float64) {
+		t.Helper()
+		if err := svc.Submit("tv1", rater, value, day); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := mirror.Product("tv1")
+		p.Ratings = p.Ratings.Merge(dataset.Series{{Day: day, Value: value, Rater: rater}})
+	}
+	for i := 0; i < 120; i++ {
+		add(fmt.Sprintf("h%d", i), rng.Float64()*150, dataset.QuantizeHalfStar(3.5+rng.NormFloat64()*0.6))
+	}
+	if _, err := svc.Scores("tv1"); err != nil { // checkpoint all epochs
+		t.Fatal(err)
+	}
+	// A burst of day-5 low ratings lands in epoch 0 after everything was
+	// evaluated: every checkpoint is stale.
+	for i := 0; i < 25; i++ {
+		add(fmt.Sprintf("late%d", i), 5+rng.Float64()*3, 0.5)
+	}
+	got, err := svc.Scores("tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.NewPScheme().Evaluate(mirror).Table["tv1"]
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("period %d: incremental %v, batch %v", i, got[i], want[i])
+		}
+	}
+}

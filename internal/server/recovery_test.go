@@ -17,7 +17,7 @@ import (
 func workloadRating(i int) (product, rater string, value, day float64) {
 	product = fmt.Sprintf("tv%d", i%3)
 	rater = fmt.Sprintf("r%04d", i)
-	value = float64((i*7)%11) / 2                // 0, 3.5, 1.5 … ∈ [0,5]
+	value = float64((i*7)%11) / 2               // 0, 3.5, 1.5 … ∈ [0,5]
 	day = math.Mod(float64(i)*1.37+0.11, 89.75) // ∈ [0, 90)
 	return
 }

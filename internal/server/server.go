@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/wal"
 )
 
@@ -45,13 +46,22 @@ var (
 // Service is a thread-safe online rating system. The zero value is not
 // usable; construct with New (in-memory) or Open (durable).
 type Service struct {
-	mu      sync.RWMutex
-	data    *dataset.Dataset
-	scheme  agg.Scheme
-	seen    map[string]map[string]bool // product → rater → rated?
-	dirty   bool
-	cached  agg.Table
-	pResult *agg.Result // set when scheme is the P-scheme
+	mu     sync.RWMutex
+	data   *dataset.Dataset
+	scheme agg.Scheme
+	seen   map[string]map[string]bool // product → rater → rated?
+	// dirtyFrom is the earliest rating day accepted since the last
+	// successful recompute (+Inf = cache clean). It replaces a whole-table
+	// dirty bit: under the P-scheme only the trust epochs at or after
+	// epoch(dirtyFrom) are re-evaluated, the rest resume from engState's
+	// checkpoints.
+	dirtyFrom float64
+	cached    agg.Table
+	pResult   *agg.Result // set when scheme is the P-scheme
+	// engState holds the P-scheme engine's per-epoch trust checkpoints
+	// across recomputes (nil for other schemes, or after a failed
+	// recompute — the next attempt then starts cold).
+	engState *engine.EvalState
 
 	// Durability (nil/zero for a purely in-memory service).
 	wal           *wal.WAL
@@ -90,12 +100,12 @@ func New(scheme agg.Scheme, horizonDays float64, products []string) (*Service, e
 		seen[id] = make(map[string]bool)
 	}
 	return &Service{
-		data:   d,
-		scheme: scheme,
-		seen:   seen,
-		dirty:  true,
-		logger: log.New(io.Discard, "", 0),
-		now:    time.Now,
+		data:      d,
+		scheme:    scheme,
+		seen:      seen,
+		dirtyFrom: 0, // everything dirty: first read computes the table
+		logger:    log.New(io.Discard, "", 0),
+		now:       time.Now,
 	}, nil
 }
 
@@ -266,9 +276,21 @@ func (s *Service) Load(d *dataset.Dataset) error {
 	}
 	s.data = clone
 	s.seen = seen
-	s.dirty = true
+	s.markDirtyLocked(0) // a wholesale replacement invalidates everything
+	s.engState = nil     // drop checkpoints computed for the old history
 	return nil
 }
+
+// markDirtyLocked records that a rating on the given day arrived: every
+// epoch from epoch(day) on must be re-evaluated before the next read.
+func (s *Service) markDirtyLocked(day float64) {
+	if day < s.dirtyFrom {
+		s.dirtyFrom = day
+	}
+}
+
+// dirtyLocked reports whether the cached table is out of date.
+func (s *Service) dirtyLocked() bool { return !math.IsInf(s.dirtyFrom, 1) }
 
 // Submit records one rating, durably if the service has a WAL: the rating
 // is appended (and fsynced per the group-commit policy) before any
@@ -352,7 +374,7 @@ func (s *Service) applyLocked(product, rater string, value, day float64) error {
 	}
 	raters[rater] = true
 	p.Ratings = p.Ratings.Merge(dataset.Series{{Day: day, Value: value, Rater: rater}})
-	s.dirty = true
+	s.markDirtyLocked(day)
 	return nil
 }
 
@@ -438,7 +460,7 @@ func (s *Service) RatingCount(product string) (int, error) {
 // proceed concurrently under RLock and never serialize on the write lock.
 func (s *Service) freshRLock() {
 	s.mu.RLock()
-	if !s.dirty {
+	if !s.dirtyLocked() {
 		return
 	}
 	s.mu.RUnlock()
@@ -519,14 +541,18 @@ func (s *Service) Trust(rater string) float64 {
 // the previous table keeps being served, reports carry Stale, Ready
 // fails, and the next submission triggers another attempt.
 func (s *Service) refreshLocked() {
-	if !s.dirty {
+	if !s.dirtyLocked() {
 		return
 	}
-	table, pRes, err := s.evaluate()
-	s.dirty = false
+	table, pRes, err := s.evaluate(s.dirtyFrom)
+	s.dirtyFrom = math.Inf(1)
 	if err != nil {
 		s.stale = true
 		s.staleErr = err
+		// The engine state may hold checkpoints from a half-finished
+		// resume; drop it so the retry starts from a clean slate (the
+		// cost of one cold evaluation, only on the failure path).
+		s.engState = nil
 		s.logger.Printf("server: aggregate recompute failed, serving stale table: %v", err)
 		return
 	}
@@ -537,8 +563,12 @@ func (s *Service) refreshLocked() {
 }
 
 // evaluate runs the scheme over the current dataset, converting a panic
-// into an error.
-func (s *Service) evaluate() (table agg.Table, pRes *agg.Result, err error) {
+// into an error. Under the P-scheme it resumes the epoch-checkpointed
+// engine: epochs before epoch(from) are reused from the previous
+// evaluation's checkpoints, so steady-state recompute cost is proportional
+// to the invalidated epoch suffix plus one final per-product pass, not the
+// full history.
+func (s *Service) evaluate(from float64) (table agg.Table, pRes *agg.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			table, pRes = nil, nil
@@ -546,8 +576,13 @@ func (s *Service) evaluate() (table agg.Table, pRes *agg.Result, err error) {
 		}
 	}()
 	if p, ok := s.scheme.(*agg.PScheme); ok {
-		res := p.Evaluate(s.data)
-		return res.Table, res, nil
+		if s.engState == nil {
+			s.engState = engine.NewState()
+		}
+		s.engState.Invalidate(from)
+		res := p.Engine().Resume(s.engState, s.data)
+		t := agg.Table(res.Table)
+		return t, &agg.Result{Table: t, Suspicious: res.Suspicious, Trust: res.Trust}, nil
 	}
 	return s.scheme.Aggregates(s.data), nil, nil
 }

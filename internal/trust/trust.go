@@ -82,6 +82,18 @@ func (m *Manager) Snapshot() []RaterTrust {
 	return out
 }
 
+// Clone returns a deep copy of the manager: the copy and the receiver can
+// be observed independently without affecting each other. It backs the
+// engine's per-epoch trust checkpoints, but is generally useful for
+// what-if evaluation against a frozen trust state.
+func (m *Manager) Clone() *Manager {
+	out := &Manager{records: make(map[string]Record, len(m.records))}
+	for id, rec := range m.records {
+		out.records[id] = rec
+	}
+	return out
+}
+
 // Reset forgets all evidence.
 func (m *Manager) Reset() {
 	m.records = make(map[string]Record)

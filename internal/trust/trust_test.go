@@ -82,6 +82,51 @@ func TestManagerReset(t *testing.T) {
 	}
 }
 
+func TestClone(t *testing.T) {
+	m := NewManager()
+	m.Observe("alice", 10, 2)
+	m.Observe("bob", 4, 4)
+	c := m.Clone()
+
+	// The clone starts bit-identical.
+	if c.Len() != m.Len() {
+		t.Fatalf("clone Len = %d, want %d", c.Len(), m.Len())
+	}
+	for _, id := range []string{"alice", "bob", "stranger"} {
+		if c.Record(id) != m.Record(id) {
+			t.Errorf("clone Record(%q) = %+v, want %+v", id, c.Record(id), m.Record(id))
+		}
+		if c.Trust(id) != m.Trust(id) {
+			t.Errorf("clone Trust(%q) = %v, want %v", id, c.Trust(id), m.Trust(id))
+		}
+	}
+
+	// Diverging the original leaves the clone untouched, and vice versa.
+	m.Observe("alice", 0, 5)
+	if got, want := c.Record("alice"), (Record{S: 8, F: 2}); got != want {
+		t.Errorf("clone record after original Observe = %+v, want %+v", got, want)
+	}
+	c.Observe("carol", 3, 0)
+	if m.Len() != 2 {
+		t.Errorf("original gained clone's rater: Len = %d, want 2", m.Len())
+	}
+	m.Reset()
+	if c.Len() != 3 || c.Trust("bob") != Beta(0, 4) {
+		t.Error("resetting the original clobbered the clone")
+	}
+}
+
+func TestCloneEmpty(t *testing.T) {
+	c := NewManager().Clone()
+	if c.Len() != 0 || c.Trust("anyone") != InitialTrust {
+		t.Errorf("empty clone: Len=%d Trust=%v", c.Len(), c.Trust("anyone"))
+	}
+	c.Observe("a", 1, 0) // must be usable, not a nil map
+	if c.Len() != 1 {
+		t.Error("empty clone not observable")
+	}
+}
+
 func TestAverageTrust(t *testing.T) {
 	m := NewManager()
 	m.Observe("good", 8, 0) // 0.9
