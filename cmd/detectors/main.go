@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -141,7 +142,7 @@ func load(inPath string, demo bool) (*dataset.Dataset, error) {
 		return d, nil
 	}
 	if inPath == "" {
-		return nil, fmt.Errorf("need -in FILE or -demo")
+		return nil, errors.New("need -in FILE or -demo")
 	}
 	f, err := os.Open(inPath)
 	if err != nil {

@@ -1,0 +1,67 @@
+// Command ratinglint runs the repo's invariant-enforcing static analyzers
+// (internal/lint) over the given package patterns — a multichecker in the
+// spirit of golang.org/x/tools/go/analysis/multichecker, built on the
+// standard library only.
+//
+// Usage:
+//
+//	ratinglint [-list] [patterns ...]
+//
+// Patterns default to ./... and are resolved by `go list` from the current
+// directory. Exit status is 0 when clean, 1 when findings were reported,
+// and 2 on a load or internal error. Each of the analyzers honors
+// `//lint:ignore <analyzer> <rationale>` (and detmaprange additionally
+// `//lint:orderindependent <rationale>`) on the flagged line or the line
+// above; a matching directive without a rationale is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ratinglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ratinglint [-list] [patterns ...]\n\n")
+		fmt.Fprintf(stderr, "Runs the repo's invariant analyzers over the packages matched by the\n")
+		fmt.Fprintf(stderr, "patterns (default ./...). See DESIGN.md §9 for the enforced invariants.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "ratinglint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ratinglint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

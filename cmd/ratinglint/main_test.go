@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsClean is the enforcement test behind the CI lint job: the
+// whole repository must produce zero findings from the invariant analyzer
+// suite. A failure here means either a genuine invariant violation was
+// introduced or an intentional exception is missing its //lint: annotation
+// (with rationale) — both are things to fix in the code, not here.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := lint.Run("../..", []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("ratinglint found %d finding(s); fix them or annotate with a rationale (see DESIGN.md §9)", len(diags))
+	}
+}
+
+// TestFixturesAreDirty guards against the suite silently passing because
+// the analyzers stopped reporting anything at all: the testdata fixtures
+// must keep producing findings.
+func TestFixturesAreDirty(t *testing.T) {
+	diags, err := lint.Run("../..", []string{
+		"./internal/lint/testdata/walerr",
+		"./internal/lint/testdata/floateq",
+	}, lint.All())
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture packages produced no findings; the analyzer suite is broken")
+	}
+}

@@ -73,6 +73,7 @@ func (p *OnlinePScheme) Aggregates(d *dataset.Dataset) Table {
 		}
 		// Procedure 1 trust update happens before the score is published
 		// (the paper computes trust at tˆ(k) including epoch k's marks).
+		//lint:orderindependent integer-count fold: Observe adds small integers to float64 evidence, which is exact and commutative, so iteration order cannot change any trust value
 		for rater, c := range perRater {
 			mgr.Observe(rater, c.n, c.f)
 		}

@@ -130,6 +130,7 @@ func updatePeriodTrust(mgr *trust.Manager, period dataset.Series, kept []bool) {
 		}
 		perRater[r.Rater] = c
 	}
+	//lint:orderindependent integer-count fold: Observe adds small integers to float64 evidence, which is exact and commutative, so iteration order cannot change any trust value
 	for rater, c := range perRater {
 		mgr.Observe(rater, c.n, c.f)
 	}

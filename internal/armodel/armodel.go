@@ -35,6 +35,18 @@ type Model struct {
 	RelErr float64
 }
 
+// degenerateVariance reports whether the mean-removed window is constant
+// for fitting purposes. An exact ==0 test misses truly constant windows:
+// summing n identical values rounds, so the subtracted mean differs from
+// the samples by an ulp and the centered variance comes out tiny but
+// nonzero — which previously sent a constant window into an
+// ill-conditioned recursion instead of the constant-window fast path. The
+// threshold is relative to the DC level: ~(1e-12·mean)² is far below any
+// real rating variation but far above accumulated rounding noise.
+func degenerateVariance(variance, mean float64) bool {
+	return variance <= 1e-24*(1+mean*mean)
+}
+
 // Fit fits an AR(order) model to x with the covariance method. The window
 // must contain at least 2·order+1 samples. The mean is removed before
 // fitting (ratings have a large DC component that is not "signal").
@@ -53,7 +65,7 @@ func Fit(x []float64, order int) (Model, error) {
 		xc[i] = v - mean
 	}
 	variance := stats.Variance(xc)
-	if variance == 0 {
+	if degenerateVariance(variance, mean) {
 		// Constant window: perfectly predictable, zero residual.
 		return Model{Coeffs: make([]float64, order), Err: 0, RelErr: 0}, nil
 	}
@@ -117,6 +129,7 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 		b[col], b[pivot] = b[pivot], b[col]
 		for row := col + 1; row < n; row++ {
 			f := a[row][col] / a[col][col]
+			//lint:ignore floateq exactly-zero multiplier row-skip is an optimization; any nonzero f, however tiny, must still be eliminated
 			if f == 0 {
 				continue
 			}

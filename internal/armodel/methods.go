@@ -72,7 +72,7 @@ func fitAutocorrelation(x []float64, order int) (Model, error) {
 		xc[i] = v - mean
 	}
 	variance := stats.Variance(xc)
-	if variance == 0 {
+	if degenerateVariance(variance, mean) {
 		return Model{Coeffs: make([]float64, order), Err: 0, RelErr: 0}, nil
 	}
 
@@ -85,6 +85,7 @@ func fitAutocorrelation(x []float64, order int) (Model, error) {
 		}
 		r[lag] = s / float64(n)
 	}
+	//lint:ignore floateq exact-zero division guard for -acc/e below; near-constant windows already took the degenerateVariance fast path
 	if r[0] == 0 {
 		return Model{Coeffs: make([]float64, order), Err: 0, RelErr: 0}, nil
 	}
@@ -98,6 +99,7 @@ func fitAutocorrelation(x []float64, order int) (Model, error) {
 		for j := 1; j < k; j++ {
 			acc += a[j] * r[k-j]
 		}
+		//lint:ignore floateq exact-zero division guard: only e exactly 0 makes -acc/e non-finite
 		if e == 0 {
 			break
 		}
@@ -137,7 +139,7 @@ func fitBurg(x []float64, order int) (Model, error) {
 		xc[i] = v - mean
 	}
 	variance := stats.Variance(xc)
-	if variance == 0 {
+	if degenerateVariance(variance, mean) {
 		return Model{Coeffs: make([]float64, order), Err: 0, RelErr: 0}, nil
 	}
 
@@ -152,6 +154,7 @@ func fitBurg(x []float64, order int) (Model, error) {
 			num += f[t] * b[t-1]
 			den += f[t]*f[t] + b[t-1]*b[t-1]
 		}
+		//lint:ignore floateq exact-zero division guard: only den exactly 0 makes the reflection coefficient non-finite
 		if den == 0 {
 			break
 		}

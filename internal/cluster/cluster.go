@@ -60,6 +60,7 @@ func SingleLinkage(xs []float64, k int) (Assignment, error) {
 		gaps = append(gaps, gap{pos: i, size: xs[order[i+1]] - xs[order[i]]})
 	}
 	sort.Slice(gaps, func(a, b int) bool {
+		//lint:ignore floateq sort comparator: a tolerance here would break strict weak ordering; exact inequality plus the index tie-break is deterministic
 		if gaps[a].size != gaps[b].size {
 			return gaps[a].size > gaps[b].size
 		}

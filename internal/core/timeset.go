@@ -37,6 +37,7 @@ func GenerateTimes(rng *rand.Rand, start, duration float64, n int, pattern TimeP
 			gaps[i] = rng.ExpFloat64()
 			total += gaps[i]
 		}
+		//lint:ignore floateq exact-zero division guard: total is a sum of non-negative exponential gaps, only exactly 0 (all gaps 0) breaks the rescale
 		if total == 0 {
 			total = 1
 		}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/epoch"
+)
+
+// addRating merges one rating into a live dataset's product and invalidates
+// the incremental state at the rating's day — the server's submit path.
+func addRating(t *testing.T, d *dataset.Dataset, st *EvalState, product string, r dataset.Rating) {
+	t.Helper()
+	p, err := d.Product(product)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Ratings = p.Ratings.Merge(dataset.Series{r})
+	st.Invalidate(r.Day)
+}
+
+// Ratings at exactly day 0 belong to epoch 0 and must flow through the
+// incremental path bit-exactly.
+func TestBoundaryDayZeroRating(t *testing.T) {
+	const horizon = 90.0
+	d := testDataset(t, 21, 2, horizon)
+	eng := &Engine{Detect: detect.DefaultConfig()}
+	st := NewState()
+	eng.Resume(st, d)
+
+	addRating(t, d, st, d.Products[0].ID, dataset.Rating{Day: 0, Value: 3, Rater: "dayzero"})
+	if got := st.CompletedEpochs(); got != 0 {
+		t.Errorf("day-0 insert must invalidate everything: CompletedEpochs = %d", got)
+	}
+	cold := &Engine{Detect: detect.DefaultConfig()}
+	requireEqualResults(t, "day-0 rating", eng.Resume(st, d), cold.Evaluate(d))
+}
+
+// A horizon that is an exact 30-day multiple must close its last epoch with
+// no empty trailing period, and resumption must agree with a cold run.
+func TestBoundaryExactMultipleHorizon(t *testing.T) {
+	for _, horizon := range []float64{epoch.PeriodDays, 2 * epoch.PeriodDays, 4 * epoch.PeriodDays} {
+		d := testDataset(t, 31, 2, horizon)
+		eng := &Engine{Detect: detect.DefaultConfig()}
+		st := NewState()
+		res := eng.Resume(st, d)
+		want := int(horizon / epoch.PeriodDays)
+		if got := st.CompletedEpochs(); got != want {
+			t.Errorf("horizon %v: CompletedEpochs = %d, want %d", horizon, got, want)
+		}
+		for id, scores := range res.Table {
+			if len(scores) != want {
+				t.Errorf("horizon %v: product %s has %d periods, want %d", horizon, id, len(scores), want)
+			}
+		}
+		cold := &Engine{Detect: detect.DefaultConfig()}
+		requireEqualResults(t, "exact-multiple horizon", res, cold.Evaluate(d))
+	}
+}
+
+// A single-epoch history (horizon == PeriodDays) is the degenerate case of
+// the checkpoint scheme: exactly one checkpointed epoch, and every insert
+// invalidates it.
+func TestBoundarySingleEpochHistory(t *testing.T) {
+	d := testDataset(t, 41, 2, epoch.PeriodDays)
+	eng := &Engine{Detect: detect.DefaultConfig()}
+	st := NewState()
+	eng.Resume(st, d)
+	if got := st.CompletedEpochs(); got != 1 {
+		t.Fatalf("CompletedEpochs = %d, want 1", got)
+	}
+	addRating(t, d, st, d.Products[1].ID, dataset.Rating{Day: 15, Value: 4.5, Rater: "mid"})
+	if got := st.CompletedEpochs(); got != 0 {
+		t.Errorf("mid-epoch insert: CompletedEpochs = %d, want 0", got)
+	}
+	cold := &Engine{Detect: detect.DefaultConfig()}
+	requireEqualResults(t, "single epoch", eng.Resume(st, d), cold.Evaluate(d))
+}
+
+// A rating submitted at exactly day 30.0 lands in epoch 1 ([30, 60)), so
+// the epoch-0 checkpoint must survive the invalidation while every later
+// checkpoint drops — and the resumed result must still match a cold run.
+func TestBoundarySubmitOnCheckpoint(t *testing.T) {
+	const horizon = 120.0
+	d := testDataset(t, 51, 3, horizon)
+	eng := &Engine{Detect: detect.DefaultConfig()}
+	st := NewState()
+	eng.Resume(st, d)
+	n := epoch.Periods(horizon)
+	if got := st.CompletedEpochs(); got != n {
+		t.Fatalf("CompletedEpochs = %d, want %d", got, n)
+	}
+
+	addRating(t, d, st, d.Products[0].ID,
+		dataset.Rating{Day: epoch.PeriodDays, Value: 1, Rater: "boundary"})
+	if got := st.CompletedEpochs(); got != 1 {
+		t.Errorf("submit at day 30.0: CompletedEpochs = %d, want 1 (epoch 0 checkpoint must survive)", got)
+	}
+	cold := &Engine{Detect: detect.DefaultConfig()}
+	requireEqualResults(t, "submit on checkpoint", eng.Resume(st, d), cold.Evaluate(d))
+
+	// The last representable day before the boundary belongs to epoch 0 and
+	// must invalidate it too.
+	addRating(t, d, st, d.Products[1].ID,
+		dataset.Rating{Day: 29.999999, Value: 2, Rater: "justbefore"})
+	if got := st.CompletedEpochs(); got != 0 {
+		t.Errorf("submit just before day 30: CompletedEpochs = %d, want 0", got)
+	}
+	requireEqualResults(t, "submit before checkpoint", eng.Resume(st, d), cold.Evaluate(d))
+}

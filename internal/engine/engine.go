@@ -30,6 +30,7 @@ package engine
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/dataset"
@@ -156,10 +157,12 @@ func (e *Engine) runEpoch(d *dataset.Dataset, ep int, mgr *trust.Manager) {
 		perProduct[i] = counts
 	})
 
-	// Merge and fold. Counts are integers and each rater is observed once
-	// per epoch with its total, so neither the merge order nor the map
-	// iteration order of the fold can change any trust record.
+	// Merge and fold. The merged counts are integers, so the merge order
+	// cannot change any total; the fold into the trust manager then walks
+	// raters in sorted order, making the bit-exactness of the per-epoch
+	// trust fold structural rather than an argument about commutativity.
 	total := make(map[string]raterCounts)
+	//lint:orderindependent integer-count merge: += on int fields is exact and commutative, so any merge order yields the same totals
 	for _, counts := range perProduct {
 		for rater, c := range counts {
 			t := total[rater]
@@ -168,7 +171,13 @@ func (e *Engine) runEpoch(d *dataset.Dataset, ep int, mgr *trust.Manager) {
 			total[rater] = t
 		}
 	}
-	for rater, c := range total {
+	raters := make([]string, 0, len(total))
+	for rater := range total {
+		raters = append(raters, rater)
+	}
+	sort.Strings(raters)
+	for _, rater := range raters {
+		c := total[rater]
 		mgr.Observe(rater, c.n, c.f)
 	}
 }

@@ -55,6 +55,7 @@ func (st *EvalState) Invalidate(day float64) {
 // matches reports whether the state's checkpoints were computed for this
 // dataset identity.
 func (st *EvalState) matches(d *dataset.Dataset) bool {
+	//lint:ignore floateq dataset-identity check: checkpoints are only valid for the bit-identical horizon, so exact comparison is the contract
 	if len(st.checkpoints) == 0 || st.horizon != d.HorizonDays || len(st.products) != len(d.Products) {
 		return false
 	}

@@ -43,11 +43,13 @@ func PeriodOf(day, horizon float64) int {
 		return 0
 	}
 	n := Periods(horizon)
-	e := int(day / PeriodDays)
-	if e > n {
+	// Clamp before the float→int conversion: int(+Inf) is implementation-
+	// specific (minInt64 on amd64) and would escape an integer-side clamp.
+	q := day / PeriodDays
+	if q >= float64(n) {
 		return n
 	}
-	return e
+	return int(q)
 }
 
 // WeightedMean aggregates the kept ratings of a period with the given

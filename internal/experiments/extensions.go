@@ -240,6 +240,7 @@ func (r *BoostAnalysisResult) String() string {
 }
 
 func safeRatio(a, b float64) float64 {
+	//lint:ignore floateq exact-zero division guard: safeRatio exists precisely to map b == 0 to 0
 	if b == 0 {
 		return 0
 	}

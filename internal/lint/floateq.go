@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// toleranceHelpers are functions allowed to compare floats exactly: they
+// either implement the tolerance comparison itself or are explicitly about
+// bit-level equality.
+var toleranceHelpers = map[string]bool{
+	"approxEqual":  true,
+	"ApproxEqual":  true,
+	"almostEqual":  true,
+	"AlmostEqual":  true,
+	"EqualWithin":  true,
+	"withinTol":    true,
+	"bitsEqual":    true,
+	"sameFloat":    true,
+	"floatsEqual":  true,
+	"equalFloats":  true,
+	"nearlyEqual":  true,
+	"closeEnough":  true,
+	"tolerantDiff": true,
+}
+
+// FloatEq flags == and != between floating-point expressions outside test
+// files and tolerance helpers. Exact float comparison is almost always a
+// rounding-sensitive bug; when bit-exactness is genuinely intended (WAL
+// replay dedup, checkpoint identity checks) annotate
+// `//lint:ignore floateq <rationale>`.
+//
+// Self-comparison (x != x) is allowed: it is the portable NaN test.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= on float64/float32 expressions outside test files and " +
+		"approved tolerance helpers; use a tolerance comparison or annotate //lint:ignore floateq",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if toleranceHelpers[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(info, be.X) && !isFloat(info, be.Y) {
+					return true
+				}
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // x != x is the portable NaN test
+				}
+				pass.Reportf(be.OpPos,
+					"float comparison %s %s %s: exact equality is rounding-sensitive; compare within a tolerance, use math.Signbit/IsNaN/IsInf, or annotate //lint:ignore floateq with a rationale",
+					types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,239 @@
+// Package lint implements the repo's invariant-enforcing static analyzers
+// and the driver that runs them (cmd/ratinglint). Each analyzer guards one
+// of the system's headline guarantees — the engine's bit-exact determinism,
+// the WAL's error discipline, the server's locking model — so that a
+// regression fails the build instead of surfacing as a flaky property test.
+// See DESIGN.md §9 for the invariant → analyzer mapping.
+//
+// The framework mirrors the golang.org/x/tools go/analysis API (Analyzer,
+// Pass, Diagnostic) but is built entirely on the standard library: packages
+// are located with `go list -export`, imports are satisfied from compiler
+// export data, and target packages are type-checked from source. This keeps
+// the module dependency-free.
+//
+// Intentional exceptions are annotated in source with a rationale:
+//
+//	//lint:ignore <analyzer> <why this is safe>
+//	//lint:orderindependent <why iteration order cannot affect output>
+//
+// placed on the flagged line or the line above it (the last line of a doc
+// comment works for whole-function findings). An annotation without a
+// rationale is itself a finding: exceptions must be explained.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// directivePrefix introduces suppression annotations. Distinct from the
+// staticcheck convention only in the analyzer names it accepts.
+const directivePrefix = "//lint:"
+
+// directive is one parsed //lint: annotation.
+type directive struct {
+	verb      string // "ignore" or "orderindependent"
+	analyzer  string // target analyzer for "ignore"; empty otherwise
+	rationale string
+	line      int
+	file      string
+	pos       token.Pos
+}
+
+// parseDirectives extracts //lint: annotations from a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			// Strip a trailing analysistest-style expectation marker so the
+			// fixtures can assert on diagnostics at directive lines.
+			if i := strings.Index(text, "// want"); i >= 0 {
+				text = text[:i]
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				continue
+			}
+			d := directive{verb: fields[0], pos: c.Pos()}
+			rest := fields[1:]
+			if d.verb == "ignore" && len(rest) > 0 {
+				d.analyzer = rest[0]
+				rest = rest[1:]
+			}
+			d.rationale = strings.Join(rest, " ")
+			p := fset.Position(c.Pos())
+			d.line, d.file = p.Line, p.Filename
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive suppresses a diagnostic from the
+// named analyzer. "orderindependent" is a dedicated spelling for
+// detmaprange, the analyzer it exists for.
+func (d directive) matches(analyzer string) bool {
+	switch d.verb {
+	case "ignore":
+		return d.analyzer == analyzer
+	case "orderindependent":
+		return analyzer == "detmaprange"
+	}
+	return false
+}
+
+// runAnalyzers executes every analyzer over every package and resolves
+// suppression directives. Diagnostics come back sorted by position. A
+// matching directive with no rationale does not suppress — it is converted
+// into its own finding, so silent exceptions cannot accumulate.
+func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	// index directives by file:line for the suppression lookup
+	type key struct {
+		file string
+		line int
+	}
+	dirs := make(map[key][]directive)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range parseDirectives(pkg.Fset, f) {
+				dirs[key{d.file, d.line}] = append(dirs[key{d.file, d.line}], d)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, diag := range raw {
+		suppressed := false
+		for _, line := range []int{diag.Pos.Line, diag.Pos.Line - 1} {
+			for _, d := range dirs[key{diag.Pos.Filename, line}] {
+				if !d.matches(diag.Analyzer) {
+					continue
+				}
+				if d.rationale == "" {
+					out = append(out, Diagnostic{
+						Analyzer: diag.Analyzer,
+						Pos:      token.Position{Filename: d.file, Line: d.line, Column: 1},
+						Message:  fmt.Sprintf("//lint:%s directive needs a rationale", d.verb),
+					})
+				}
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Run loads the packages matched by patterns (relative to dir) and applies
+// the analyzers, returning unsuppressed diagnostics sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return runAnalyzers(pkgs, analyzers)
+}
+
+// pathHasSegments reports whether want ("internal/engine") occurs in path
+// ("repro/internal/engine", "repro/internal/lint/testdata/x/internal/engine")
+// as a consecutive run of whole path segments — substring matching would
+// let "internal/engineroom" slip through.
+func pathHasSegments(path, want string) bool {
+	segs := strings.Split(path, "/")
+	wantSegs := strings.Split(want, "/")
+	for i := 0; i+len(wantSegs) <= len(segs); i++ {
+		match := true
+		for j, w := range wantSegs {
+			if segs[i+j] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// pathHasAnySegments reports whether any of wants occurs in path per
+// pathHasSegments.
+func pathHasAnySegments(path string, wants []string) bool {
+	for _, w := range wants {
+		if pathHasSegments(path, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockedPkgs are the packages whose types follow the documented locking
+// model: a `mu sync.Mutex`/`sync.RWMutex` field guards every other field of
+// the struct, and methods either acquire mu before touching state or carry
+// the `Locked` naming suffix declaring that the caller already holds it.
+var lockedPkgs = []string{"internal/server"}
+
+// LockHeld flags methods in internal/server that touch mutex-guarded struct
+// fields without first acquiring the mutex — the bug class behind torn
+// reads of the aggregate cache and lost dirty-range updates.
+//
+// The check is lexical: a method on a struct with a `mu` mutex field must
+// call s.mu.Lock() or s.mu.RLock() before its first access to any other
+// field of s, or be named with the `Locked` suffix (caller-holds contract).
+// `Locked`-suffixed methods are conversely flagged if they acquire mu
+// themselves, which would self-deadlock under the contract. Intentional
+// exceptions (pre-publication initialization paths) are annotated
+// `//lint:ignore lockheld <rationale>` on the method declaration.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "flags internal/server methods that access mutex-guarded fields " +
+		"before acquiring the documented mu, and Locked-suffixed methods that lock it themselves",
+	Run: runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	if !pathHasAnySegments(pass.Pkg.Path, lockedPkgs) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			checkLockDiscipline(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkLockDiscipline(pass *Pass, fn *ast.FuncDecl) {
+	recvField := fn.Recv.List[0]
+	if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+		return
+	}
+	recvObj, ok := pass.Pkg.Info.Defs[recvField.Names[0]]
+	if !ok {
+		return
+	}
+	if !hasGuardField(recvObj.Type()) {
+		return
+	}
+
+	firstLock := token.NoPos
+	firstAccess := token.NoPos
+	var firstAccessField string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isMuLockCall(pass.Pkg.Info, n, recvObj) && (!firstLock.IsValid() || n.Pos() < firstLock) {
+				firstLock = n.Pos()
+			}
+		case *ast.SelectorExpr:
+			name, ok := guardedFieldAccess(pass.Pkg.Info, n, recvObj)
+			if ok && (!firstAccess.IsValid() || n.Pos() < firstAccess) {
+				firstAccess = n.Pos()
+				firstAccessField = name
+			}
+		}
+		return true
+	})
+
+	recv := recvField.Names[0].Name
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		if firstLock.IsValid() {
+			pass.Reportf(firstLock,
+				"method %s acquires %s.mu but its Locked suffix promises the caller already holds it: this self-deadlocks (sync.Mutex is not reentrant)",
+				fn.Name.Name, recv)
+		}
+		return
+	}
+	if firstAccess.IsValid() && (!firstLock.IsValid() || firstAccess < firstLock) {
+		pos := pass.Pkg.Fset.Position(firstAccess)
+		pass.Reportf(fn.Name.Pos(),
+			"method %s accesses guarded field %s.%s (line %d) without holding %s.mu: acquire the mutex first, add the Locked suffix (caller-holds contract), or annotate //lint:ignore lockheld with a rationale",
+			fn.Name.Name, recv, firstAccessField, pos.Line, recv)
+	}
+}
+
+// hasGuardField reports whether the (possibly pointer) receiver type is a
+// struct with a field `mu` of type sync.Mutex or sync.RWMutex.
+func hasGuardField(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "mu" {
+			continue
+		}
+		if pkg, name := namedRecv(f.Type()); pkg == "sync" && (name == "Mutex" || name == "RWMutex") {
+			return true
+		}
+	}
+	return false
+}
+
+// isMuLockCall reports whether call acquires the receiver's mutex: either
+// directly (recv.mu.Lock(), recv.mu.RLock()) or through a receiver helper
+// method whose name ends in Lock/RLock and returns holding the mutex
+// (internal/server's freshRLock pattern). Unlock/RUnlock do not match the
+// suffix check — Go method names are case-sensitive.
+func isMuLockCall(info *types.Info, call *ast.CallExpr, recvObj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Lock") {
+		return false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr: // recv.mu.Lock() / recv.mu.RLock()
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return false
+		}
+		if x.Sel.Name != "mu" {
+			return false
+		}
+		id, ok := x.X.(*ast.Ident)
+		return ok && info.Uses[id] == recvObj
+	case *ast.Ident: // recv.freshRLock() — a lock-acquiring helper method
+		return info.Uses[x] == recvObj
+	}
+	return false
+}
+
+// guardedFieldAccess resolves sel as recv.<field> for a non-mu struct field
+// and returns the field name.
+func guardedFieldAccess(info *types.Info, sel *ast.SelectorExpr, recvObj types.Object) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || info.Uses[id] != recvObj {
+		return "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	name := selection.Obj().Name()
+	if name == "mu" {
+		return "", false
+	}
+	return name, true
+}

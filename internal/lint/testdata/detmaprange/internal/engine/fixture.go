@@ -1,0 +1,75 @@
+// Package enginefix exercises detmaprange inside a determinism-critical
+// package path (the …/internal/engine/… segments make it critical).
+package enginefix
+
+import "sort"
+
+func fold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m"
+		total += v
+	}
+	return total
+}
+
+func nested(outer map[string]map[string]int) int {
+	total := 0
+	for _, inner := range outer { // want "range over map outer"
+		for _, v := range inner { // want "range over map inner"
+			total += v
+		}
+	}
+	return total
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // allowed: keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func annotated(m map[string]int) int {
+	total := 0
+	//lint:orderindependent integer sum: addition of ints is exact and commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func annotatedIgnoreSpelling(m map[string]int) int {
+	total := 0
+	//lint:ignore detmaprange the generic ignore spelling also works for this analyzer
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func missingRationale(m map[string]int) int {
+	total := 0
+	//lint:orderindependent // want "needs a rationale"
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRange(s []int) int {
+	total := 0
+	for _, v := range s { // allowed: slices iterate in index order
+		total += v
+	}
+	return total
+}
+
+func channelRange(c chan int) int {
+	total := 0
+	for v := range c { // allowed: not a map
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package plain exercises detmaprange outside the determinism-critical
+// package list: identical map iteration must NOT be flagged here.
+package plain
+
+func fold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // allowed: package is not determinism-critical
+		total += v
+	}
+	return total
+}

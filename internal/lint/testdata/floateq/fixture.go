@@ -1,0 +1,51 @@
+// Package floatfix exercises floateq: exact ==/!= on floats is flagged
+// everywhere outside test files and tolerance helpers.
+package floatfix
+
+func equal(a, b float64) bool {
+	return a == b // want "float comparison a == b"
+}
+
+func notEqual(a float64) bool {
+	return a != 0 // want "float comparison a != 0"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "float comparison"
+}
+
+func float32Too(a, b float32) bool {
+	return a == b // want "float comparison a == b"
+}
+
+func viaExpression(xs []float64) bool {
+	return xs[0]*2 == xs[1] // want "float comparison"
+}
+
+func nanCheck(a float64) bool {
+	return a != a // allowed: self-comparison is the portable NaN test
+}
+
+func approxEqual(a, b, tol float64) bool {
+	if a == b { // allowed: inside an approved tolerance helper
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func ints(a, b int) bool {
+	return a == b // allowed: not floating point
+}
+
+func strings(a, b string) bool {
+	return a != b // allowed: not floating point
+}
+
+func annotated(a, b float64) bool {
+	//lint:ignore floateq bit-exact sentinel comparison, demonstrated for the fixture
+	return a == b
+}

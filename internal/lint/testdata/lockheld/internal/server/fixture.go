@@ -1,0 +1,64 @@
+// Package serverfix exercises lockheld inside an internal/server package
+// path: structs with a `mu` mutex field get their locking discipline
+// checked.
+package serverfix
+
+import "sync"
+
+type store struct {
+	mu    sync.RWMutex
+	table map[string]int
+	n     int
+}
+
+func (s *store) Good(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.table[k] // allowed: read under RLock
+}
+
+func (s *store) GoodWrite(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table[k] = v // allowed: write under Lock
+}
+
+func (s *store) Bad(k string) int { // want "accesses guarded field s.table"
+	return s.table[k]
+}
+
+func (s *store) LateLock() int { // want "accesses guarded field s.n"
+	n := s.n // read before the Lock below
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n + s.n
+}
+
+func (s *store) sizeLocked() int {
+	return s.n // allowed: Locked suffix declares the caller holds mu
+}
+
+func (s *store) badLocked() {
+	s.mu.Lock() // want "self-deadlocks"
+	s.n++
+}
+
+// freshRLock returns holding the read lock (the helper-acquire pattern).
+func (s *store) freshRLock() { s.mu.RLock() }
+
+func (s *store) ViaHelper() int {
+	s.freshRLock() // allowed: *Lock-suffixed helper counts as acquiring mu
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+//lint:ignore lockheld boot-time initialization before the store escapes its constructor, demonstrated for the fixture
+func (s *store) boot() {
+	s.n = 1
+}
+
+type plain struct{ n int }
+
+func (p *plain) Get() int {
+	return p.n // allowed: no mu field, struct is not in the locking model
+}

@@ -1,0 +1,37 @@
+// Package statsfix exercises nowall inside a pure compute package path:
+// wall-clock reads and the global rand source are flagged.
+package statsfix
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func badRand() float64 {
+	return rand.Float64() // want "global rand.Float64"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+func badTime() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func goodInjected(rng *rand.Rand) float64 {
+	return rng.Float64() // allowed: explicitly seeded generator threaded in
+}
+
+func goodSeeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed)) // allowed: explicit seed
+}
+
+func goodTimeValue(now time.Time) int64 {
+	return now.Unix() // allowed: time passed in as a value
+}
+
+func annotated() time.Time {
+	//lint:ignore nowall operational timestamp outside any checkpointed computation, demonstrated for the fixture
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+// Package plain exercises nowall outside the pure compute package list:
+// wall-clock and global rand are operational concerns there, not
+// determinism bugs.
+package plain
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func operationalTimestamp() int64 {
+	return time.Now().UnixNano() // allowed: not a pure compute package
+}
+
+func jitter() float64 {
+	return rand.Float64() // allowed: not a pure compute package
+}

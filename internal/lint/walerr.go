@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WALErr flags dropped error returns on the write-ahead log's durability
+// surface: wal.WAL Append/Sync/Compact, the wal.File and os.File Sync
+// methods (fsync), and wal.FS Truncate/Rename (the crash-safety ordering of
+// Compact depends on them). An ignored error here silently converts "the
+// rating is durable" into "the rating is probably durable", which breaks
+// the WAL's contract that a failed fsync poisons the log (DESIGN.md §7).
+//
+// Dropping a result deliberately requires `//lint:ignore walerr <rationale>`.
+var WALErr = &Analyzer{
+	Name: "walerr",
+	Doc: "flags dropped error returns from internal/wal Append/Sync/Compact, " +
+		"File.Sync / os.File.Sync (fsync paths), and FS Truncate/Rename",
+	Run: runWALErr,
+}
+
+// walErrMethods maps guarded receiver types to their guarded methods.
+// Receivers are identified by (package path segments, type name).
+var walErrMethods = []struct {
+	pkgSegs string
+	typ     string
+	methods map[string]bool
+}{
+	{"internal/wal", "WAL", map[string]bool{"Append": true, "Sync": true, "Compact": true}},
+	{"internal/wal", "File", map[string]bool{"Sync": true}},
+	{"internal/wal", "FS", map[string]bool{"Truncate": true, "Rename": true}},
+	{"os", "File", map[string]bool{"Sync": true}},
+}
+
+func runWALErr(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				// Guarded methods return exactly one value (error), so a
+				// drop via assignment is `_ = w.Append(...)` — possibly as
+				// one of several RHS values.
+				for i, rhs := range n.Rhs {
+					c, ok := rhs.(*ast.CallExpr)
+					if !ok || i >= len(n.Lhs) || !isBlank(n.Lhs[i]) {
+						continue
+					}
+					checkWALCall(pass, c)
+				}
+				return true
+			default:
+				return true
+			}
+			if call != nil {
+				checkWALCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWALCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	recvPkg, recvName := namedRecv(selection.Recv())
+	if recvPkg == "" {
+		return
+	}
+	for _, g := range walErrMethods {
+		if recvName != g.typ || !g.methods[fn.Name()] {
+			continue
+		}
+		if g.pkgSegs == "os" {
+			if recvPkg != "os" {
+				continue
+			}
+		} else if !pathHasSegments(recvPkg, g.pkgSegs) {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"error return of (%s.%s).%s dropped: the WAL durability contract requires every append/fsync/compact failure to be checked (or annotate //lint:ignore walerr with a rationale)",
+			recvPkg, recvName, fn.Name())
+		return
+	}
+}
+
+// namedRecv resolves a receiver type to its defining package path and type
+// name, dereferencing one level of pointer.
+func namedRecv(t types.Type) (pkgPath, name string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name()
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -82,9 +82,11 @@ func (p *Plot) Render() (string, error) {
 	if !any {
 		return "", ErrEmptyPlot
 	}
+	//lint:ignore floateq axis-range degeneracy only occurs at exact equality; any nonzero span scales fine
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lint:ignore floateq axis-range degeneracy only occurs at exact equality; any nonzero span scales fine
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

@@ -219,6 +219,8 @@ func (s *Service) recoverRating(product, rater string, value, day float64, appli
 
 // hasExactRating reports whether rater's recorded rating on product has
 // exactly this value and day.
+//
+//lint:ignore lockheld only called from recoverRating during OpenWAL, before the Service is returned to any other goroutine
 func (s *Service) hasExactRating(product, rater string, value, day float64) bool {
 	p, err := s.data.Product(product)
 	if err != nil {
@@ -226,6 +228,7 @@ func (s *Service) hasExactRating(product, rater string, value, day float64) bool
 	}
 	for _, r := range p.Ratings {
 		if r.Rater == rater {
+			//lint:ignore floateq WAL replay dedup is bit-exact by design: a re-replayed record carries the identical float bits, anything else is a conflicting duplicate
 			return r.Value == value && r.Day == day
 		}
 	}
@@ -544,7 +547,7 @@ func (s *Service) refreshLocked() {
 	if !s.dirtyLocked() {
 		return
 	}
-	table, pRes, err := s.evaluate(s.dirtyFrom)
+	table, pRes, err := s.evaluateLocked(s.dirtyFrom)
 	s.dirtyFrom = math.Inf(1)
 	if err != nil {
 		s.stale = true
@@ -562,13 +565,13 @@ func (s *Service) refreshLocked() {
 	s.staleErr = nil
 }
 
-// evaluate runs the scheme over the current dataset, converting a panic
-// into an error. Under the P-scheme it resumes the epoch-checkpointed
-// engine: epochs before epoch(from) are reused from the previous
-// evaluation's checkpoints, so steady-state recompute cost is proportional
-// to the invalidated epoch suffix plus one final per-product pass, not the
-// full history.
-func (s *Service) evaluate(from float64) (table agg.Table, pRes *agg.Result, err error) {
+// evaluateLocked runs the scheme over the current dataset, converting a
+// panic into an error. Callers must hold the write lock. Under the P-scheme
+// it resumes the epoch-checkpointed engine: epochs before epoch(from) are
+// reused from the previous evaluation's checkpoints, so steady-state
+// recompute cost is proportional to the invalidated epoch suffix plus one
+// final per-product pass, not the full history.
+func (s *Service) evaluateLocked(from float64) (table agg.Table, pRes *agg.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			table, pRes = nil, nil

@@ -24,6 +24,7 @@ func (p Poisson) LogPMF(k int) float64 {
 	if k < 0 {
 		return math.Inf(-1)
 	}
+	//lint:ignore floateq λ=0 is the exact point-mass-at-zero special case of the Poisson PMF, not a rounding comparison
 	if p.Lambda == 0 {
 		if k == 0 {
 			return 0
@@ -82,6 +83,7 @@ func xlnx(x float64) float64 {
 // statistic is 0 when either segment is empty.
 func RateChangeGLRT(y1, y2 []float64) float64 {
 	a, b := float64(len(y1)), float64(len(y2))
+	//lint:ignore floateq a and b are float64 conversions of segment lengths; integer-valued, so equality is exact
 	if a == 0 || b == 0 {
 		return 0
 	}

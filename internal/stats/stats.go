@@ -155,6 +155,7 @@ func Correlation(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
+	//lint:ignore floateq exact-zero division guard: sxx/syy are sums of squares, only exactly 0 (a constant input) makes the denominator vanish
 	if sxx == 0 || syy == 0 {
 		return 0
 	}

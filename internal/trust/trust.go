@@ -88,6 +88,7 @@ func (m *Manager) Snapshot() []RaterTrust {
 // what-if evaluation against a frozen trust state.
 func (m *Manager) Clone() *Manager {
 	out := &Manager{records: make(map[string]Record, len(m.records))}
+	//lint:orderindependent map-to-map copy: each key is written exactly once, so the result is identical in any order
 	for id, rec := range m.records {
 		out.records[id] = rec
 	}

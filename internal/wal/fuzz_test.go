@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALDecode drives the record decoder and the torn-tail recovery scan
+// with corrupt, truncated and bit-flipped log images. The properties under
+// test are the crash-safety contract of DESIGN.md §7:
+//
+//  1. decodeRecord never panics on arbitrary bytes, never over-consumes,
+//     and any frame it accepts re-encodes to the identical bytes (the
+//     framing is canonical).
+//  2. Truncating an encoded stream at any byte recovers exactly the
+//     records whose frames fit entirely before the cut — a torn tail never
+//     drops an intact prefix record and never invents a record.
+//  3. Flipping any single bit corrupts at most the frame it lands in and
+//     everything after it: records in earlier frames are recovered intact.
+//  4. Open's recovery scan agrees with the pure decoder and physically
+//     truncates the torn tail.
+func FuzzWALDecode(f *testing.F) {
+	// Seeds: an empty log, raw garbage, a valid two-record stream, and a
+	// stream with a crafted oversized length prefix.
+	f.Add([]byte{}, uint16(0), uint32(0))
+	f.Add([]byte("not a wal log at all, just bytes"), uint16(7), uint32(13))
+	var seed []byte
+	seed, _ = appendRecord(seed, Record{Product: "p0", Rater: "alice", Value: 4.5, Day: 3, ReceivedUnixNano: 42})
+	seed, _ = appendRecord(seed, Record{Product: "p1", Rater: "bob", Value: 1, Day: 61})
+	f.Add(seed, uint16(len(seed)-1), uint32(5))
+	huge := binary.LittleEndian.AppendUint32(nil, maxRecordSize+1)
+	f.Add(append(huge, seed...), uint16(3), uint32(100))
+
+	f.Fuzz(func(t *testing.T, raw []byte, cut uint16, flip uint32) {
+		// (1) Arbitrary bytes: scan to the end without panicking; accepted
+		// frames must round-trip byte-for-byte.
+		off := 0
+		for off < len(raw) {
+			r, n, ok := decodeRecord(raw[off:])
+			if !ok {
+				break
+			}
+			if n <= 0 || off+n > len(raw) {
+				t.Fatalf("decodeRecord consumed %d bytes of %d available", n, len(raw)-off)
+			}
+			re, err := appendRecord(nil, r)
+			if err != nil {
+				t.Fatalf("re-encode of accepted record failed: %v", err)
+			}
+			if !bytes.Equal(re, raw[off:off+n]) {
+				t.Fatalf("accepted frame is not canonical: %x vs %x", raw[off:off+n], re)
+			}
+			off += n
+		}
+
+		// Build a known-good stream from the fuzz input.
+		recs := deriveRecords(raw)
+		if len(recs) == 0 {
+			return
+		}
+		var stream []byte
+		frameEnd := make([]int, len(recs)) // byte offset just past frame i
+		for i, r := range recs {
+			var err error
+			stream, err = appendRecord(stream, r)
+			if err != nil {
+				t.Fatalf("encode derived record: %v", err)
+			}
+			frameEnd[i] = len(stream)
+		}
+
+		// (2) Torn tail: every cut point keeps exactly the full frames.
+		cutAt := int(cut) % (len(stream) + 1)
+		wantIntact := 0
+		for wantIntact < len(recs) && frameEnd[wantIntact] <= cutAt {
+			wantIntact++
+		}
+		got := scanRecords(stream[:cutAt])
+		if len(got) != wantIntact {
+			t.Fatalf("cut at %d: recovered %d records, want %d intact", cutAt, len(got), wantIntact)
+		}
+		for i := 0; i < wantIntact; i++ {
+			requireSameRecord(t, fmt.Sprintf("cut %d record %d", cutAt, i), recs[i], got[i])
+		}
+
+		// (3) Bit flip: frames before the flipped byte's frame survive.
+		flipAt := int(flip) % (len(stream) * 8)
+		flipped := append([]byte(nil), stream...)
+		flipped[flipAt/8] ^= 1 << (flipAt % 8)
+		frame := 0
+		for frame < len(recs) && frameEnd[frame] <= flipAt/8 {
+			frame++
+		}
+		got = scanRecords(flipped)
+		if len(got) < frame {
+			t.Fatalf("bit flip in frame %d dropped intact prefix: got %d records", frame, len(got))
+		}
+		for i := 0; i < frame; i++ {
+			requireSameRecord(t, fmt.Sprintf("flip bit %d record %d", flipAt, i), recs[i], got[i])
+		}
+
+		// (4) Open agrees with the pure scan and truncates the torn tail.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logName), stream[:cutAt], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fsys, err := OSDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, rec, err := Open(fsys, Options{})
+		if err != nil {
+			t.Fatalf("Open on truncated log: %v", err)
+		}
+		defer w.Close()
+		if len(rec.Records) != wantIntact {
+			t.Fatalf("Open recovered %d records, want %d", len(rec.Records), wantIntact)
+		}
+		intactBytes := 0
+		if wantIntact > 0 {
+			intactBytes = frameEnd[wantIntact-1]
+		}
+		if rec.TruncatedBytes != int64(cutAt-intactBytes) {
+			t.Fatalf("TruncatedBytes = %d, want %d", rec.TruncatedBytes, cutAt-intactBytes)
+		}
+		if info, err := os.Stat(filepath.Join(dir, logName)); err != nil || info.Size() != int64(intactBytes) {
+			t.Fatalf("log not truncated to intact prefix: size %v err %v, want %d", info, err, intactBytes)
+		}
+	})
+}
+
+// scanRecords decodes records from the front of data until the first torn
+// or corrupt frame, like readLog's scan.
+func scanRecords(data []byte) []Record {
+	var out []Record
+	off := 0
+	for off < len(data) {
+		r, n, ok := decodeRecord(data[off:])
+		if !ok {
+			break
+		}
+		out = append(out, r)
+		off += n
+	}
+	return out
+}
+
+// deriveRecords builds up to 8 valid records from fuzz bytes, covering
+// empty and non-UTF-8 IDs and arbitrary float bit patterns.
+func deriveRecords(raw []byte) []Record {
+	var out []Record
+	for i := 0; i+16 <= len(raw) && len(out) < 8; i += 16 {
+		c := raw[i : i+16]
+		out = append(out, Record{
+			Product:          string(c[0 : 0+int(c[1])%3]),
+			Rater:            string(c[2 : 2+int(c[3])%4]),
+			Value:            math.Float64frombits(binary.LittleEndian.Uint64(c[4:12])),
+			Day:              float64(binary.LittleEndian.Uint16(c[12:14])),
+			ReceivedUnixNano: int64(c[14])<<8 | int64(c[15]),
+		})
+	}
+	return out
+}
+
+// requireSameRecord compares records bit-exactly (NaN-valued floats
+// included — recovery must not rewrite even a broken payload value).
+func requireSameRecord(t *testing.T, label string, want, got Record) {
+	t.Helper()
+	if want.Product != got.Product || want.Rater != got.Rater ||
+		math.Float64bits(want.Value) != math.Float64bits(got.Value) ||
+		math.Float64bits(want.Day) != math.Float64bits(got.Day) ||
+		want.ReceivedUnixNano != got.ReceivedUnixNano {
+		t.Fatalf("%s: record %+v != %+v", label, got, want)
+	}
+}
