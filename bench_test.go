@@ -227,6 +227,7 @@ func benchSeries(b *testing.B) dataset.Series {
 func BenchmarkDetectorMC(b *testing.B) {
 	s := benchSeries(b)
 	cfg := detect.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		detect.MeanChange(s, cfg, nil)
@@ -237,6 +238,7 @@ func BenchmarkDetectorMC(b *testing.B) {
 func BenchmarkDetectorARC(b *testing.B) {
 	s := benchSeries(b)
 	cfg := detect.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		detect.ArrivalRateChange(s, 120, detect.HighBand, cfg)
@@ -249,6 +251,7 @@ func BenchmarkDetectorARC(b *testing.B) {
 func BenchmarkDetectorHC(b *testing.B) {
 	s := benchSeries(b)
 	cfg := detect.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		detect.HistogramChange(s, cfg)
@@ -260,6 +263,7 @@ func BenchmarkDetectorHC(b *testing.B) {
 func BenchmarkDetectorME(b *testing.B) {
 	s := benchSeries(b)
 	cfg := detect.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		detect.ModelError(s, cfg)
@@ -271,9 +275,25 @@ func BenchmarkDetectorME(b *testing.B) {
 func BenchmarkDetectorFusion(b *testing.B) {
 	s := benchSeries(b)
 	cfg := detect.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		detect.Analyze(s, 120, cfg, nil)
+	}
+}
+
+// BenchmarkDetectorFusionWarm measures Analyze with a caller-owned warm
+// scratch — the shape the engine's per-product fan-out runs in, where the
+// window buffers are reused across every product in a worker's batch.
+func BenchmarkDetectorFusionWarm(b *testing.B) {
+	s := benchSeries(b)
+	cfg := detect.DefaultConfig()
+	sc := detect.NewScratch()
+	detect.AnalyzeWith(s, 120, cfg, nil, sc) // warm the buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.AnalyzeWith(s, 120, cfg, nil, sc)
 	}
 }
 

@@ -97,6 +97,30 @@ func TwoClusterSizes(xs []float64) (n1, n2 int) {
 	return sizes[0], sizes[1]
 }
 
+// Split2Sorted returns the single-linkage 2-cluster cut of an
+// ascending-sorted slice without allocating: the size of the low-value
+// cluster and the value gap separating the clusters. For one-dimensional
+// data the 2-cluster single-linkage dendrogram cut is exactly the largest
+// adjacent gap in sorted order (the last merge joins the two groups across
+// that gap), with ties resolving to the earliest position — the same
+// deterministic tie-break SingleLinkage applies. Callers that maintain an
+// order-preserved sliding window (the histogram-change detector) get the
+// full clustering result from one O(n) scan per window.
+//
+// sorted must be ascending and hold at least 2 values; the equivalence with
+// SingleLinkage(xs, 2) is pinned by the package tests.
+func Split2Sorted(sorted []float64) (n1 int, gap float64) {
+	cut := 0
+	gap = sorted[1] - sorted[0]
+	for i := 1; i+1 < len(sorted); i++ {
+		if g := sorted[i+1] - sorted[i]; g > gap {
+			gap = g
+			cut = i
+		}
+	}
+	return cut + 1, gap
+}
+
 // SizeRatio returns min(n1/n2, n2/n1) for the two-cluster split of xs — the
 // paper's Histogram Change statistic (Eq. 6). A balanced split (two real
 // rating populations) yields a value near 1; a lone outlier cluster yields a

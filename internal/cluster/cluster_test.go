@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -194,5 +195,52 @@ func TestSingleLinkageValidLabelingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: Split2Sorted on the sorted values agrees with the full
+// SingleLinkage 2-cluster cut — same low-cluster size and same separating
+// gap, bit for bit. This is the equivalence the histogram-change detector's
+// order-maintained window kernel rests on (DESIGN.md §10).
+func TestSplit2SortedMatchesSingleLinkage(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v%101) / 10 // duplicates are common on purpose
+		}
+		asg, err := SingleLinkage(xs, 2)
+		if err != nil {
+			return false
+		}
+		sizes := asg.Sizes(2)
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		n1, gap := Split2Sorted(sorted)
+		if n1 != sizes[0] {
+			return false
+		}
+		wantGap := sorted[sizes[0]] - sorted[sizes[0]-1]
+		return math.Float64bits(gap) == math.Float64bits(wantGap)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplit2SortedTieBreak(t *testing.T) {
+	// Two equal largest gaps: the cut must land on the earliest, matching
+	// SingleLinkage's deterministic (size desc, position asc) gap order.
+	n1, gap := Split2Sorted([]float64{0, 1, 2, 3})
+	if n1 != 1 || gap != 1 {
+		t.Errorf("Split2Sorted = (%d, %v), want (1, 1)", n1, gap)
+	}
+	// All-equal values: every gap is zero, cut after the first element.
+	n1, gap = Split2Sorted([]float64{2, 2, 2})
+	if n1 != 1 || gap != 0 {
+		t.Errorf("all-equal Split2Sorted = (%d, %v), want (1, 0)", n1, gap)
 	}
 }

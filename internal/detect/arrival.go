@@ -46,39 +46,60 @@ func BandThresholds(mean float64) (thresholdA, thresholdB float64) {
 	return 0.5 * mean, tb
 }
 
-// bandCounts returns the daily counts of the ratings selected by band, using
-// the series-wide mean to fix the band thresholds.
-func bandCounts(s dataset.Series, horizon float64, band ARCBand) []float64 {
-	switch band {
-	case HighBand, LowBand:
-		ta, tb := BandThresholds(s.Mean())
-		filtered := make(dataset.Series, 0, len(s))
-		for _, r := range s {
-			if band == HighBand && r.Value > ta {
-				filtered = append(filtered, r)
+// bandCountsInto buckets the ratings selected by band into daily counts
+// over [0, horizon), writing into buf (grown and zeroed as needed) and
+// returning the counts slice. Band membership is tested while bucketing —
+// one pass, no intermediate filtered series — which produces the same
+// integer counts as filtering first (bandCountsRef): each selected rating
+// increments exactly one bucket either way.
+func bandCountsInto(s dataset.Series, horizon float64, band ARCBand, sc *Scratch) []float64 {
+	n := int(math.Ceil(horizon))
+	if n < 0 {
+		n = 0
+	}
+	counts := sc.countsBuf(n)
+	var ta, tb float64
+	if band == HighBand || band == LowBand {
+		ta, tb = BandThresholds(s.Mean())
+	}
+	for i := range s {
+		r := &s[i]
+		switch band {
+		case HighBand:
+			if !(r.Value > ta) {
+				continue
 			}
-			if band == LowBand && r.Value < tb {
-				filtered = append(filtered, r)
+		case LowBand:
+			if !(r.Value < tb) {
+				continue
 			}
 		}
-		return filtered.DailyCounts(horizon)
-	default:
-		return s.DailyCounts(horizon)
+		d := int(math.Floor(r.Day))
+		if d < 0 || d >= n {
+			continue
+		}
+		counts[d]++
 	}
+	return counts
 }
 
-// ARCCurve computes the arrival-rate-change curve of Section IV-C.2 for the
-// chosen band: at each day k′, the normalized Poisson GLRT statistic over
-// the 2D-day window centred at k′ (smaller windows at the boundaries, with a
-// minimum of 3 days per side).
-func ARCCurve(s dataset.Series, horizon float64, band ARCBand, cfg Config) Curve {
-	counts := bandCounts(s, horizon, band)
+// arcCurveFromCounts computes the ARC indicator curve from precomputed
+// daily counts. Each position's Poisson GLRT is evaluated exactly over the
+// count sub-ranges (no rolling sums: the per-window statistic must stay
+// bit-identical to the reference), but the counts themselves are computed
+// once per detector run instead of once per pass.
+func arcCurveFromCounts(counts []float64, cfg Config) Curve {
 	n := len(counts)
 	d := int(cfg.ARCWindowDays / 2)
 	if d < 3 {
 		d = 3
 	}
 	c := Curve{}
+	if n >= 6 {
+		// Points exist exactly for k in [3, n-3]; preallocate once.
+		c.X = make([]float64, 0, n-5)
+		c.Y = make([]float64, 0, n-5)
+	}
 	for k := 0; k < n; k++ {
 		lo := k - d
 		if lo < 0 {
@@ -95,6 +116,14 @@ func ARCCurve(s dataset.Series, horizon float64, band ARCBand, cfg Config) Curve
 		c.Y = append(c.Y, stats.RateChangeGLRT(counts[lo:k], counts[k:hi]))
 	}
 	return c
+}
+
+// ARCCurve computes the arrival-rate-change curve of Section IV-C.2 for the
+// chosen band: at each day k′, the normalized Poisson GLRT statistic over
+// the 2D-day window centred at k′ (smaller windows at the boundaries, with a
+// minimum of 3 days per side).
+func ARCCurve(s dataset.Series, horizon float64, band ARCBand, cfg Config) Curve {
+	return arcCurveFromCounts(bandCountsInto(s, horizon, band, NewScratch()), cfg)
 }
 
 // ARCSegment is a run of days between consecutive ARC peaks.
@@ -159,14 +188,22 @@ func (r ARCResult) UShape() []Interval {
 // ArrivalRateChange runs the full (H-/L-)ARC detector of Section IV-C:
 // curve, peaks, segmentation, and the elevated-rate segment test.
 func ArrivalRateChange(s dataset.Series, horizon float64, band ARCBand, cfg Config) ARCResult {
-	res := ARCResult{Band: band, Curve: ARCCurve(s, horizon, band, cfg)}
+	return arrivalRateChangeWith(NewScratch(), s, horizon, band, cfg)
+}
+
+// arrivalRateChangeWith is ArrivalRateChange on reusable scratch buffers:
+// the daily band counts are bucketed once (the reference recomputes them
+// for the curve pass and again for the segment pass) and the baseline
+// quantile sorts a scratch copy in place instead of allocating one.
+func arrivalRateChangeWith(sc *Scratch, s dataset.Series, horizon float64, band ARCBand, cfg Config) ARCResult {
+	counts := bandCountsInto(s, horizon, band, sc)
+	res := ARCResult{Band: band, Curve: arcCurveFromCounts(counts, cfg)}
 	res.ThresholdA, res.ThresholdB = BandThresholds(s.Mean())
 	if res.Curve.Len() == 0 {
 		return res
 	}
 	res.Peaks = res.Curve.Peaks(cfg.ARCPeakThreshold, cfg.ARCPeakMinSepDays)
 
-	counts := bandCounts(s, horizon, band)
 	bounds := daySegments(len(counts), res.Curve, res.Peaks)
 	// Baseline band rate, estimated from the lower-quartile daily count.
 	// A quantile baseline — rather than a previous-segment comparison —
@@ -175,7 +212,9 @@ func ArrivalRateChange(s dataset.Series, horizon float64, band ARCBand, cfg Conf
 	// quarters of all days (a dilute long-duration attack poisons the
 	// median). For a Poisson(λ) band the lower quartile sits ≈ 0.7·√λ
 	// below the mean, so that gap is added back to recover λ.
-	q25 := stats.Quantile(counts, 0.25)
+	quant := sc.quantBuf(len(counts))
+	copy(quant, counts)
+	q25 := stats.QuantileInPlace(quant, 0.25)
 	baseline := q25 + 0.7*math.Sqrt(q25)
 	// The alarm margin scales with the baseline: busy bands (H-ARC on a
 	// popular product counts nearly every rating) fluctuate in absolute
@@ -185,6 +224,7 @@ func ArrivalRateChange(s dataset.Series, horizon float64, band ARCBand, cfg Conf
 	if rel := cfg.ARCRelDelta * baseline; rel > margin {
 		margin = rel
 	}
+	res.Segments = make([]ARCSegment, 0, len(bounds))
 	for _, iv := range bounds {
 		seg := ARCSegment{Interval: iv, Rate: meanCounts(counts, iv)}
 		seg.Suspicious = seg.Rate-baseline > margin

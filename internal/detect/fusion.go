@@ -44,12 +44,25 @@ func (r Report) SuspiciousCount() int {
 // product). horizon is the dataset horizon in days; ts supplies rater trust
 // for the MC segment test (pass nil for the neutral 0.5 source).
 func Analyze(s dataset.Series, horizon float64, cfg Config, ts TrustSource) Report {
+	return AnalyzeWith(s, horizon, cfg, ts, nil)
+}
+
+// AnalyzeWith is Analyze with caller-owned scratch buffers: sc (from
+// NewScratch) carries the detector kernels' working memory across calls, so
+// a loop over many products performs O(1) window allocations per product
+// instead of O(windows). Pass nil to allocate fresh buffers (equivalent to
+// Analyze). The returned Report never aliases scratch memory; a Scratch
+// must not be shared between concurrent calls.
+func AnalyzeWith(s dataset.Series, horizon float64, cfg Config, ts TrustSource, sc *Scratch) Report {
+	if sc == nil {
+		sc = NewScratch()
+	}
 	rep := Report{
 		MC:         MeanChange(s, cfg, ts),
-		HARC:       ArrivalRateChange(s, horizon, HighBand, cfg),
-		LARC:       ArrivalRateChange(s, horizon, LowBand, cfg),
-		HC:         HistogramChange(s, cfg),
-		ME:         ModelError(s, cfg),
+		HARC:       arrivalRateChangeWith(sc, s, horizon, HighBand, cfg),
+		LARC:       arrivalRateChangeWith(sc, s, horizon, LowBand, cfg),
+		HC:         histogramChangeWith(sc, s, cfg),
+		ME:         modelErrorWith(sc, s, cfg),
 		Suspicious: make([]bool, len(s)),
 	}
 	if len(s) == 0 {

@@ -1,0 +1,90 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// fuzzSeries decodes fuzz bytes into a sorted rating series: two bytes per
+// rating (day-gap nibble ×0.25 — gap 0 produces duplicate days — and a
+// half-star value). Mirrors randomSeries in property_test.go but kept
+// separate so the fuzz corpus stays decoupled from the quick.Check
+// generator.
+func fuzzSeries(raw []byte) dataset.Series {
+	var s dataset.Series
+	day := 0.0
+	for i := 0; i+1 < len(raw) && len(s) < 300; i += 2 {
+		day += float64(raw[i]%16) / 4
+		s = append(s, dataset.Rating{
+			Day:   day,
+			Value: float64(raw[i+1]%11) / 2,
+			Rater: string(rune('a' + i%26)),
+		})
+	}
+	return s
+}
+
+// fuzzConfig derives a detector configuration from three fuzz bytes,
+// covering degenerate windows (0, 1), steps of 0 (clamped to 1) and steps
+// far beyond the window length.
+func fuzzConfig(a, b, c byte) Config {
+	cfg := DefaultConfig()
+	cfg.HCWindowRatings = int(a % 50)
+	cfg.HCStepRatings = int(b % 60)
+	cfg.MEWindowRatings = int(c % 50)
+	cfg.MEOrder = 1 + int(a%4)
+	cfg.MCWindowDays = float64(b % 40)
+	cfg.ARCWindowDays = float64(c % 40)
+	return cfg
+}
+
+// FuzzKernelEquivalence throws arbitrary series and configurations at the
+// incremental kernels and requires bit-exact agreement with the reference
+// kernels, plus scratch-reuse hygiene (a warm Scratch must reproduce the
+// fresh-buffer Report exactly).
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte{}, byte(40), byte(5), byte(40))
+	f.Add([]byte{0, 5, 0, 5, 0, 5, 0, 5}, byte(2), byte(1), byte(9))              // duplicate days, tiny windows
+	f.Add([]byte{1, 10, 2, 10, 3, 10, 4, 10, 5, 10}, byte(3), byte(50), byte(12)) // step ≫ window
+	f.Add([]byte{15, 0, 15, 0, 15, 0, 15, 0}, byte(4), byte(2), byte(4))          // all-equal values
+	f.Add([]byte{2, 9}, byte(1), byte(0), byte(0))                                // single rating, zero windows
+
+	sc := NewScratch()
+	f.Fuzz(func(t *testing.T, raw []byte, a, b, c byte) {
+		s := fuzzSeries(raw)
+		cfg := fuzzConfig(a, b, c)
+		horizon := 1.0
+		if len(s) > 0 {
+			_, last := s.Span()
+			horizon = last + 1
+		}
+
+		if got, want := MCCurve(s, cfg), mcCurveRef(s, cfg); !curvesEqual(got, want) {
+			t.Fatal("MCCurve diverges from reference")
+		}
+		if got, want := MeanChange(s, cfg, nil), meanChangeRef(s, cfg, nil); !mcResultsEqual(got, want) {
+			t.Fatal("MeanChange diverges from reference")
+		}
+		for _, band := range []ARCBand{AllRatings, HighBand, LowBand} {
+			got := ArrivalRateChange(s, horizon, band, cfg)
+			want := arrivalRateChangeRef(s, horizon, band, cfg)
+			if !arcResultsEqual(got, want) {
+				t.Fatalf("ArrivalRateChange(%v) diverges from reference", band)
+			}
+		}
+		gotHC, wantHC := HistogramChange(s, cfg), histogramChangeRef(s, cfg)
+		if !curvesEqual(gotHC.Curve, wantHC.Curve) || !intervalsEqual(gotHC.Intervals, wantHC.Intervals) {
+			t.Fatal("HistogramChange diverges from reference")
+		}
+		gotME, wantME := ModelError(s, cfg), modelErrorRef(s, cfg)
+		if !curvesEqual(gotME.Curve, wantME.Curve) || !intervalsEqual(gotME.Intervals, wantME.Intervals) {
+			t.Fatal("ModelError diverges from reference")
+		}
+		// Scratch hygiene: the shared warm scratch (reused across every
+		// fuzz input) must reproduce the fresh-buffer fusion bit-for-bit.
+		if !reportsEqual(AnalyzeWith(s, horizon, cfg, nil, sc), Analyze(s, horizon, cfg, nil)) {
+			t.Fatal("warm-scratch Analyze diverges from fresh run")
+		}
+	})
+}

@@ -23,6 +23,19 @@ func (r HCResult) Suspicious() bool { return len(r.Intervals) > 0 }
 // size ratio reaches HCThreshold and the gap between the clusters is at
 // least HCMinGap rating points.
 func HistogramChange(s dataset.Series, cfg Config) HCResult {
+	return histogramChangeWith(NewScratch(), s, cfg)
+}
+
+// histogramChangeWith is the incremental HC kernel: the window values are
+// kept in an order-maintained buffer (binary-search insert and evict per
+// slide instead of a fresh sort per window), on which single-linkage
+// 2-clustering degenerates to one max-adjacent-gap scan
+// (cluster.Split2Sorted). The reference kernel sorts every window and
+// clusters it via cluster.SingleLinkage; the sorted buffer here holds the
+// same value multiset, so every gap, cut and ratio is bit-identical (see
+// DESIGN.md §10). Cost per window drops from O(w log w) + allocations to
+// O(w) with none.
+func histogramChangeWith(sc *Scratch, s dataset.Series, cfg Config) HCResult {
 	res := HCResult{}
 	w := cfg.HCWindowRatings
 	step := cfg.HCStepRatings
@@ -32,45 +45,83 @@ func HistogramChange(s dataset.Series, cfg Config) HCResult {
 	if w <= 1 || len(s) < w {
 		return res
 	}
-	for start := 0; start+w <= len(s); start += step {
-		win := s[start : start+w]
-		vals := win.Values()
-		ratio := clusterGapRatio(vals, cfg.HCMinGap)
-		center := (win[0].Day + win[w-1].Day) / 2
+	nWin := (len(s)-w)/step + 1
+	res.Curve.X = make([]float64, 0, nWin)
+	res.Curve.Y = make([]float64, 0, nWin)
+
+	win := sc.windowBuf(w)
+	for i := 0; i < w; i++ {
+		win = insertSorted(win, s[i].Value)
+	}
+	for start := 0; ; start += step {
+		ratio := sortedGapRatio(win, cfg.HCMinGap)
+		center := (s[start].Day + s[start+w-1].Day) / 2
 		res.Curve.X = append(res.Curve.X, center)
 		res.Curve.Y = append(res.Curve.Y, ratio)
 		if ratio >= cfg.HCThreshold {
-			res.Intervals = append(res.Intervals, Interval{Start: win[0].Day, End: win[w-1].Day})
+			res.Intervals = append(res.Intervals, Interval{Start: s[start].Day, End: s[start+w-1].Day})
+		}
+		next := start + step
+		if next+w > len(s) {
+			break
+		}
+		// Slide: evict the ratings leaving the window, insert the ones
+		// entering it. When step ≥ w the ranges are disjoint and this
+		// degenerates to a full drain and refill.
+		evictEnd := start + w
+		if evictEnd > next {
+			evictEnd = next
+		}
+		for i := start; i < evictEnd; i++ {
+			win = removeSorted(win, s[i].Value)
+		}
+		insStart := start + w
+		if insStart < next {
+			insStart = next
+		}
+		for i := insStart; i < next+w; i++ {
+			win = insertSorted(win, s[i].Value)
 		}
 	}
 	res.Intervals = mergeIntervals(res.Intervals)
 	return res
 }
 
-// clusterGapRatio computes the two-cluster size ratio, but returns 0 when
-// the value gap between the clusters is below minGap (one noisy population,
-// not a histogram change).
-func clusterGapRatio(vals []float64, minGap float64) float64 {
-	if len(vals) < 2 {
+// sortedGapRatio is clusterGapRatio on an already-sorted window: the
+// 2-cluster single-linkage cut is the largest adjacent gap (earliest
+// position on ties, matching SingleLinkage's deterministic tie-break), so
+// the cluster sizes and the separating gap fall out of one scan.
+func sortedGapRatio(sorted []float64, minGap float64) float64 {
+	if len(sorted) < 2 {
 		return 0
 	}
-	asg, err := cluster.SingleLinkage(vals, 2)
-	if err != nil {
-		return 0
-	}
-	// Gap = min(high cluster) − max(low cluster).
-	sorted := make([]float64, len(vals))
-	copy(sorted, vals)
-	sort.Float64s(sorted)
-	sizes := asg.Sizes(2)
-	if sizes[0] == 0 || sizes[1] == 0 {
-		return 0
-	}
-	gap := sorted[sizes[0]] - sorted[sizes[0]-1]
+	n1, gap := cluster.Split2Sorted(sorted)
 	if gap < minGap {
 		return 0
 	}
-	return cluster.SizeRatio(vals)
+	r := float64(n1) / float64(len(sorted)-n1)
+	if r > 1 {
+		r = 1 / r
+	}
+	return r
+}
+
+// insertSorted inserts v into ascending-sorted win, keeping it sorted.
+func insertSorted(win []float64, v float64) []float64 {
+	i := sort.SearchFloat64s(win, v)
+	win = append(win, 0)
+	copy(win[i+1:], win[i:])
+	win[i] = v
+	return win
+}
+
+// removeSorted removes one occurrence of v from ascending-sorted win. v
+// must be present (the kernel only evicts values it previously inserted);
+// with duplicates, removing any occurrence leaves the same multiset.
+func removeSorted(win []float64, v float64) []float64 {
+	i := sort.SearchFloat64s(win, v)
+	copy(win[i:], win[i+1:])
+	return win[:len(win)-1]
 }
 
 // mergeIntervals coalesces overlapping or touching intervals (inputs must be

@@ -2,7 +2,6 @@ package detect
 
 import (
 	"repro/internal/dataset"
-	"repro/internal/stats"
 )
 
 // TrustSource supplies rater trust to the detectors. The zero-history trust
@@ -24,23 +23,117 @@ func (neutralTrust) AverageTrust([]string) float64 { return 0.5 }
 // NeutralTrust returns a TrustSource that reports 0.5 for every rater.
 func NeutralTrust() TrustSource { return neutralTrust{} }
 
+// averageTrustRange averages ts's trust over the raters of s by walking the
+// series directly instead of materializing a []string. Summing Trust() per
+// rating in series order is bit-identical to AverageTrust over the same
+// raters for every TrustSource in the repo (trust.Manager sums Trust(id) in
+// input order; the neutral source's constant 0.5 averages back to exactly
+// 0.5 since n·0.5 and its division by n are both exact).
+func averageTrustRange(ts TrustSource, s dataset.Series) float64 {
+	if len(s) == 0 {
+		return ts.AverageTrust(nil)
+	}
+	var sum float64
+	for i := range s {
+		sum += ts.Trust(s[i].Rater)
+	}
+	return sum / float64(len(s))
+}
+
 // MCCurve computes the mean-change indicator curve of Section IV-B.2: for
 // each rating k, the GLRT statistic for a mean change at t(k) between the
 // ratings in [t(k)−W, t(k)) and [t(k), t(k)+W) with W = MCWindowDays/2.
 // Boundary positions use whatever smaller half-windows are available.
+//
+// The kernel is an incremental two-pointer sweep: because the series is
+// sorted, the three window boundaries (t−W, t, t+W) are non-decreasing in
+// k, so each advances monotonically across the whole series — O(n) pointer
+// work total instead of two binary searches per rating — and the GLRT
+// statistics are computed directly over series index ranges, with no
+// per-rating Values() copies. The window statistics themselves are
+// recomputed exactly per position (same summation order as the reference
+// kernel), so the curve is bit-identical to mcCurveRef.
 func MCCurve(s dataset.Series, cfg Config) Curve {
 	n := len(s)
 	c := Curve{X: make([]float64, n), Y: make([]float64, n)}
 	half := cfg.MCWindowDays / 2
+	lo, mid, hi := 0, 0, 0
 	for k := 0; k < n; k++ {
 		t := s[k].Day
-		x1 := s.Between(t-half, t).Values()
-		x2 := s.Between(t, t+half).Values()
-		sigma2 := stats.PooledVariance(x1, x2, 0.25)
+		for lo < n && s[lo].Day < t-half {
+			lo++
+		}
+		for mid < n && s[mid].Day < t {
+			mid++
+		}
+		for hi < n && s[hi].Day < t+half {
+			hi++
+		}
+		x1 := s[lo:mid]
+		x2 := s[mid:hi]
+		sigma2 := seriesPooledVariance(x1, x2, 0.25)
 		c.X[k] = t
-		c.Y[k] = stats.MeanChangeGLRT(x1, x2, sigma2)
+		c.Y[k] = seriesMeanChangeGLRT(x1, x2, sigma2)
 	}
 	return c
+}
+
+// seriesMean mirrors stats.Mean over a series' values (same summation
+// order, no copy).
+func seriesMean(s dataset.Series) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range s {
+		sum += s[i].Value
+	}
+	return sum / float64(len(s))
+}
+
+// seriesSum mirrors stats.Sum over a series' values.
+func seriesSum(s dataset.Series) float64 {
+	var sum float64
+	for i := range s {
+		sum += s[i].Value
+	}
+	return sum
+}
+
+// seriesPooledVariance mirrors stats.PooledVariance over two series
+// segments (identical arithmetic, no copies).
+func seriesPooledVariance(x1, x2 dataset.Series, fallback float64) float64 {
+	n := len(x1) + len(x2)
+	if n < 3 {
+		return fallback
+	}
+	m1, m2 := seriesMean(x1), seriesMean(x2)
+	var ss float64
+	for i := range x1 {
+		d := x1[i].Value - m1
+		ss += d * d
+	}
+	for i := range x2 {
+		d := x2[i].Value - m2
+		ss += d * d
+	}
+	v := ss / float64(n-2)
+	if v <= 0 {
+		return fallback
+	}
+	return v
+}
+
+// seriesMeanChangeGLRT mirrors stats.MeanChangeGLRT over two series
+// segments.
+func seriesMeanChangeGLRT(x1, x2 dataset.Series, sigma2 float64) float64 {
+	n1, n2 := len(x1), len(x2)
+	if n1 == 0 || n2 == 0 || sigma2 <= 0 {
+		return 0
+	}
+	d := seriesMean(x1) - seriesMean(x2)
+	w := 2 * float64(n1) * float64(n2) / float64(n1+n2)
+	return w * d * d / (2 * sigma2)
 }
 
 // MCSegment is one run of ratings between consecutive MC peaks.
@@ -85,7 +178,9 @@ func (r MCResult) SuspiciousIntervals() []Interval {
 // MeanChange runs the full MC detector of Section IV-B: indicator curve,
 // peak detection, segmentation at the peaks, and the two-condition segment
 // suspiciousness test (large mean change, or moderate mean change plus
-// below-par rater trust).
+// below-par rater trust). Segment means and trust averages walk series
+// index ranges directly — the detector performs no per-segment slice
+// materialization (bit-identical to meanChangeRef, which does).
 func MeanChange(s dataset.Series, cfg Config, ts TrustSource) MCResult {
 	if ts == nil {
 		ts = NeutralTrust()
@@ -97,30 +192,20 @@ func MeanChange(s dataset.Series, cfg Config, ts TrustSource) MCResult {
 	res.Peaks = res.Curve.Peaks(cfg.MCPeakThreshold, cfg.MCPeakMinSepDays)
 
 	bounds := segmentBounds(s, res.Peaks)
-	overall := s.Values()
-	totalSum := stats.Sum(overall)
-	totalN := float64(len(overall))
+	totalSum := seriesSum(s)
+	totalN := float64(len(s))
+	tAvg := averageTrustRange(ts, s)
 
-	// Tavg over all raters in the series.
-	allRaters := make([]string, len(s))
-	for i, r := range s {
-		allRaters[i] = r.Rater
-	}
-	tAvg := ts.AverageTrust(allRaters)
-
+	res.Segments = make([]MCSegment, 0, len(bounds))
 	for _, iv := range bounds {
 		seg := s.Between(iv.Start, iv.End)
 		if len(seg) == 0 {
 			continue
 		}
-		raters := make([]string, len(seg))
-		for i, r := range seg {
-			raters[i] = r.Rater
-		}
 		m := MCSegment{
 			Interval: iv,
-			Mean:     stats.Mean(seg.Values()),
-			AvgTrust: ts.AverageTrust(raters),
+			Mean:     seriesMean(seg),
+			AvgTrust: averageTrustRange(ts, seg),
 		}
 		// Compare the segment mean against the mean of the *other*
 		// segments: a long attack segment would otherwise drag the global

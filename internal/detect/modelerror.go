@@ -22,6 +22,15 @@ func (r MEResult) Suspicious() bool { return len(r.Intervals) > 0 }
 // drops below METhreshold — a predictable "signal" from collaborative
 // raters is present.
 func ModelError(s dataset.Series, cfg Config) MEResult {
+	return modelErrorWith(NewScratch(), s, cfg)
+}
+
+// modelErrorWith is ModelError with the per-window Values() copy replaced
+// by one reused scratch buffer: each window's values are copied into the
+// same backing array and handed to the AR fit, which reads but never
+// retains its input. The fitted numbers are untouched, so the curve is
+// bit-identical to modelErrorRef.
+func modelErrorWith(sc *Scratch, s dataset.Series, cfg Config) MEResult {
 	res := MEResult{}
 	w := cfg.MEWindowRatings
 	step := cfg.MEStepRatings
@@ -31,9 +40,17 @@ func ModelError(s dataset.Series, cfg Config) MEResult {
 	if w <= 2*cfg.MEOrder || len(s) < w {
 		return res
 	}
+	// The curve grows by append (not an exact preallocation): a window can
+	// drop out when its AR fit fails, so the point count is not known up
+	// front and a sized-but-empty slice would differ from the reference's
+	// nil curve in the degenerate all-windows-fail case.
+	vals := sc.valsBuf(w)
 	for start := 0; start+w <= len(s); start += step {
 		win := s[start : start+w]
-		m, err := armodel.FitMethod(win.Values(), cfg.MEOrder, cfg.MEMethod)
+		for i := 0; i < w; i++ {
+			vals[i] = win[i].Value
+		}
+		m, err := armodel.FitMethod(vals, cfg.MEOrder, cfg.MEMethod)
 		if err != nil {
 			continue
 		}

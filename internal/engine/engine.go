@@ -101,9 +101,9 @@ func (e *Engine) Resume(st *EvalState, d *dataset.Dataset) *Result {
 	// epoch count. Trust is read-only here, so products fan out freely.
 	marks := make([][]bool, len(d.Products))
 	scores := make([][]float64, len(d.Products))
-	e.forEachProduct(len(d.Products), func(i int) {
+	e.forEachProduct(len(d.Products), func(i int, sc *detect.Scratch) {
 		prod := &d.Products[i]
-		rep := detect.Analyze(prod.Ratings, d.HorizonDays, e.Detect, mgr)
+		rep := detect.AnalyzeWith(prod.Ratings, d.HorizonDays, e.Detect, mgr, sc)
 		marks[i] = rep.Suspicious
 		scores[i] = e.aggregateProduct(prod.Ratings, rep.Suspicious, d.HorizonDays, mgr)
 	})
@@ -132,13 +132,13 @@ type raterCounts struct{ n, f int }
 func (e *Engine) runEpoch(d *dataset.Dataset, ep int, mgr *trust.Manager) {
 	lo, hi := epoch.PeriodInterval(ep, d.HorizonDays)
 	perProduct := make([]map[string]raterCounts, len(d.Products))
-	e.forEachProduct(len(d.Products), func(i int) {
+	e.forEachProduct(len(d.Products), func(i int, sc *detect.Scratch) {
 		prod := &d.Products[i]
 		seen := prod.Ratings.Between(0, hi)
 		if len(seen) == 0 {
 			return
 		}
-		rep := detect.Analyze(seen, hi, e.Detect, mgr)
+		rep := detect.AnalyzeWith(seen, hi, e.Detect, mgr, sc)
 		var counts map[string]raterCounts
 		for j, r := range seen {
 			if r.Day < lo {
@@ -221,18 +221,28 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// scratchPool recycles detector scratch buffers across epochs and
+// evaluations. Scratches carry no result state (reuse is bit-exact, see
+// internal/detect), so pooling them across engines and goroutines is safe;
+// each forEachProduct worker checks one out for its whole batch, giving
+// every product analysis warm buffers without any cross-worker sharing.
+var scratchPool = sync.Pool{New: func() any { return detect.NewScratch() }}
+
 // forEachProduct runs fn(i) for i in [0, n) over a bounded worker pool in
-// the current goroutine plus up to workers()−1 helpers. fn must only write
-// state owned by index i.
-func (e *Engine) forEachProduct(n int, fn func(i int)) {
+// the current goroutine plus up to workers()−1 helpers, handing each worker
+// its own detector scratch. fn must only write state owned by index i and
+// must not retain sc past the call.
+func (e *Engine) forEachProduct(n int, fn func(i int, sc *detect.Scratch)) {
 	w := e.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		sc := scratchPool.Get().(*detect.Scratch)
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, sc)
 		}
+		scratchPool.Put(sc)
 		return
 	}
 	idx := make(chan int)
@@ -241,9 +251,11 @@ func (e *Engine) forEachProduct(n int, fn func(i int)) {
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
+			sc := scratchPool.Get().(*detect.Scratch)
 			for i := range idx {
-				fn(i)
+				fn(i, sc)
 			}
+			scratchPool.Put(sc)
 		}()
 	}
 	for i := 0; i < n; i++ {

@@ -108,26 +108,39 @@ func Quantile(xs []float64, q float64) float64 {
 	if n == 0 {
 		return 0
 	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	return QuantileInPlace(sorted, q)
+}
+
+// QuantileInPlace is Quantile without the defensive copy: xs is sorted in
+// place and the interpolated order statistic returned. Hot paths that own a
+// reusable scratch buffer (the detector kernels) avoid Quantile's per-call
+// allocation; the result is identical because a sorted permutation of the
+// same multiset is unique.
+func QuantileInPlace(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, n)
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	sort.Float64s(xs)
 	if n == 1 {
-		return sorted[0]
+		return xs[0]
 	}
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo]
+		return xs[lo]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // Sum returns the sum of xs.

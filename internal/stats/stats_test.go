@@ -227,3 +227,35 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("String = %q", out)
 	}
 }
+
+// Property: QuantileInPlace agrees with Quantile bit-for-bit (Quantile is a
+// copy-then-delegate wrapper; this pins the in-place variant the detector
+// scratch kernels call directly) and leaves its buffer sorted.
+func TestQuantileInPlaceMatchesQuantile(t *testing.T) {
+	f := func(raw []uint16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q := float64(qRaw%101) / 100
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v%200)/8 - 10
+		}
+		want := Quantile(xs, q)
+		buf := make([]float64, len(xs))
+		copy(buf, xs)
+		got := QuantileInPlace(buf, q)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			return false
+		}
+		for i := 1; i < len(buf); i++ {
+			if buf[i] < buf[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
