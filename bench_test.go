@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -398,27 +399,27 @@ func BenchmarkEvaluateColdVsWarm(b *testing.B) {
 	eng := &engine.Engine{Detect: detect.DefaultConfig(), Workers: 1}
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			eng.Evaluate(d)
+			eng.Evaluate(context.Background(), d)
 		}
 	})
 	b.Run("warm-last-epoch", func(b *testing.B) {
 		st := engine.NewState()
-		eng.Resume(st, d) // prime all epoch checkpoints
+		eng.Resume(context.Background(), st, d) // prime all epoch checkpoints
 		lateDay := d.HorizonDays - 1
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			st.Invalidate(lateDay)
-			eng.Resume(st, d)
+			eng.Resume(context.Background(), st, d)
 		}
 	})
 	b.Run("warm-mid-history", func(b *testing.B) {
 		st := engine.NewState()
-		eng.Resume(st, d)
+		eng.Resume(context.Background(), st, d)
 		midDay := d.HorizonDays / 2 // half the epochs must re-run
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			st.Invalidate(midDay)
-			eng.Resume(st, d)
+			eng.Resume(context.Background(), st, d)
 		}
 	})
 }
@@ -431,7 +432,7 @@ func BenchmarkEvaluateParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
 			eng := &engine.Engine{Detect: detect.DefaultConfig(), Workers: w}
 			for i := 0; i < b.N; i++ {
-				eng.Evaluate(d)
+				eng.Evaluate(context.Background(), d)
 			}
 		})
 	}

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/dataset"
+	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/stats"
 )
@@ -56,13 +57,21 @@ func main() {
 		syncEv   = flag.Int("sync-every", 1, "fsync the WAL every N accepted ratings (group commit)")
 		snapEv   = flag.Int("snapshot-every", 4096, "checkpoint the dataset and compact the WAL every N ratings (0 = never)")
 		workers  = flag.Int("workers", 0, "P-scheme per-product analysis workers per recompute (0 = GOMAXPROCS, 1 = serial)")
+
+		maxInflight  = flag.Int("max-inflight", 256, "max concurrent requests before queueing (0 = unbounded)")
+		queueDepth   = flag.Int("queue-depth", 512, "max requests waiting for an inflight slot before shedding 503")
+		rateLimit    = flag.Float64("rate-limit", 0, "per-client sustained requests/second, 4x burst (0 = unlimited)")
+		breakerMS    = flag.Int("fsync-breaker-ms", 250, "fsync latency that trips the WAL breaker into pending-durability acks (0 = never)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on shutdown")
 	)
 	flag.Parse()
 	if err := run(config{
 		addr: *addr, scheme: *scheme, products: *products, horizon: *horizon,
 		seedHist: *seedHist, seed: *seed,
 		walDir: *walDir, syncEvery: *syncEv, snapshotEvery: *snapEv,
-		workers: *workers,
+		workers:     *workers,
+		maxInflight: *maxInflight, queueDepth: *queueDepth, rateLimit: *rateLimit,
+		breakerMS: *breakerMS, drainTimeout: *drainTimeout,
 	}); err != nil {
 		log.Fatal("ratingserver: ", err)
 	}
@@ -81,6 +90,12 @@ type config struct {
 	snapshotEvery int
 
 	workers int
+
+	maxInflight  int
+	queueDepth   int
+	rateLimit    float64
+	breakerMS    int
+	drainTimeout time.Duration
 }
 
 // buildService assembles the rating service from the CLI parameters; split
@@ -113,9 +128,10 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 	if cfg.walDir != "" {
 		var rep *server.RecoveryReport
 		svc, rep, err = server.OpenWAL(scheme, cfg.horizon, ids, server.WALOptions{
-			Dir:           cfg.walDir,
-			SyncEvery:     cfg.syncEvery,
-			SnapshotEvery: cfg.snapshotEvery,
+			Dir:            cfg.walDir,
+			SyncEvery:      cfg.syncEvery,
+			SnapshotEvery:  cfg.snapshotEvery,
+			StallThreshold: time.Duration(cfg.breakerMS) * time.Millisecond,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -151,13 +167,33 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 		for i := range d.Products {
 			d.Products[i].ID = ids[i]
 		}
-		if err := svc.Load(d); err != nil {
+		if err := svc.Load(context.Background(), d); err != nil {
 			svc.Close()
 			return nil, nil, err
 		}
 		log.Printf("seeded synthetic history for %d products", len(ids))
 	}
 	return svc, scheme, nil
+}
+
+// buildHandler wraps the service handler with admission control per the
+// CLI parameters. Health probes are exempt: a saturated instance must keep
+// answering /healthz and /readyz or the balancer drains exactly the
+// instances carrying the load.
+func buildHandler(svc *server.Service, cfg config) http.Handler {
+	opts := resilience.AdmissionOptions{
+		ExemptPaths: map[string]bool{"/healthz": true, "/readyz": true},
+	}
+	if cfg.maxInflight > 0 {
+		opts.Limiter = resilience.NewLimiter(cfg.maxInflight, cfg.queueDepth)
+	}
+	if cfg.rateLimit > 0 {
+		opts.Rate = resilience.NewRateLimiter(cfg.rateLimit, cfg.rateLimit*4)
+	}
+	if opts.Limiter == nil && opts.Rate == nil {
+		return svc.Handler()
+	}
+	return resilience.Admission(svc.Handler(), opts)
 }
 
 func run(cfg config) error {
@@ -167,21 +203,29 @@ func run(cfg config) error {
 	}
 	ids := svc.Products()
 
+	drain := cfg.drainTimeout
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
 	httpServer := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           svc.Handler(),
+		Handler:           buildHandler(svc, cfg),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	// Graceful shutdown on SIGINT/SIGTERM.
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain in-flight
+	// requests up to -drain-timeout, then (below) flush and close the WAL.
+	// Requests still running at the deadline have their contexts cancelled
+	// by the server teardown, which sheds them through the same deadline
+	// paths as a client disconnect.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		done <- httpServer.Shutdown(shutdownCtx)
 	}()

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 )
@@ -80,7 +83,7 @@ func TestBuildServiceWALRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, rater := range []string{"r1", "r2", "r3", "r4", "r5", "r6"} {
-		if err := svc.Submit("a", rater, 4, float64(i)); err != nil {
+		if err := svc.Submit(context.Background(), "a", rater, 4, float64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -98,7 +101,53 @@ func TestBuildServiceWALRoundtrip(t *testing.T) {
 	if err != nil || n != 6 {
 		t.Fatalf("recovered RatingCount = %d, %v; want 6", n, err)
 	}
-	if err := svc2.Submit("a", "r1", 4, 7); err == nil {
+	if err := svc2.Submit(context.Background(), "a", "r1", 4, 7); err == nil {
 		t.Error("duplicate rater accepted after recovery — seen map not rebuilt")
+	}
+}
+
+// TestBuildHandlerAdmission pins the CLI wiring: -max-inflight/-queue-depth
+// produce a limiter that sheds 503 at capacity, -rate-limit produces a
+// per-client 429, and health probes bypass both.
+func TestBuildHandlerAdmission(t *testing.T) {
+	cfg := memConfig("SA", "tv1", 60, false, 1)
+	cfg.maxInflight = 1
+	cfg.queueDepth = 0
+	cfg.rateLimit = 1 // burst 4
+	svc, _, err := buildService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	h := buildHandler(svc, cfg)
+
+	get := func(path, addr string) int {
+		req := httptest.NewRequest("GET", path, nil)
+		req.RemoteAddr = addr
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		return rw.Code
+	}
+	// Burst of 4 allowed, fifth rate-limited.
+	for i := 0; i < 4; i++ {
+		if code := get("/products", "10.1.1.1:99"); code != http.StatusOK {
+			t.Fatalf("request %d = %d", i, code)
+		}
+	}
+	if code := get("/products", "10.1.1.1:99"); code != http.StatusTooManyRequests {
+		t.Errorf("flooded client = %d, want 429", code)
+	}
+	// Health probes are exempt even for the flooded client.
+	for _, p := range []string{"/healthz", "/readyz"} {
+		if code := get(p, "10.1.1.1:99"); code != http.StatusOK {
+			t.Errorf("%s = %d, want 200 (exempt)", p, code)
+		}
+	}
+	// With both knobs zero, admission is disabled: the flooded client is
+	// served again.
+	cfg.maxInflight, cfg.rateLimit = 0, 0
+	h = buildHandler(svc, cfg)
+	if code := get("/products", "10.1.1.1:99"); code != http.StatusOK {
+		t.Errorf("request with admission disabled = %d, want 200", code)
 	}
 }

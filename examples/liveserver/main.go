@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,10 +37,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := svc.Load(history); err != nil {
+	if err := svc.Load(context.Background(), history); err != nil {
 		return err
 	}
-	before, err := svc.Inspect("tv1")
+	before, err := svc.Inspect(context.Background(), "tv1")
 	if err != nil {
 		return err
 	}
@@ -50,20 +51,20 @@ func run() error {
 	for i := 0; i < 50; i++ {
 		rater := fmt.Sprintf("bot%02d", i)
 		day := 70 + float64(i)*0.3
-		if err := svc.Submit("tv1", rater, 0.5, day); err != nil {
+		if err := svc.Submit(context.Background(), "tv1", rater, 0.5, day); err != nil {
 			return err
 		}
 		if (i+1)%10 == 0 {
-			rep, err := svc.Inspect("tv1")
+			rep, err := svc.Inspect(context.Background(), "tv1")
 			if err != nil {
 				return err
 			}
 			fmt.Printf("  after %2d sybil ratings: %2d marked suspicious, month-3 score %.2f, bot00 trust %.2f\n",
-				i+1, rep.Suspicious, rep.Scores[2], svc.Trust("bot00"))
+				i+1, rep.Suspicious, rep.Scores[2], svc.Trust(context.Background(), "bot00"))
 		}
 	}
 
-	after, err := svc.Inspect("tv1")
+	after, err := svc.Inspect(context.Background(), "tv1")
 	if err != nil {
 		return err
 	}
@@ -71,15 +72,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := saSvc.Load(history); err != nil {
+	if err := saSvc.Load(context.Background(), history); err != nil {
 		return err
 	}
 	for i := 0; i < 50; i++ {
-		if err := saSvc.Submit("tv1", fmt.Sprintf("bot%02d", i), 0.5, 70+float64(i)*0.3); err != nil {
+		if err := saSvc.Submit(context.Background(), "tv1", fmt.Sprintf("bot%02d", i), 0.5, 70+float64(i)*0.3); err != nil {
 			return err
 		}
 	}
-	saScores, err := saSvc.Scores("tv1")
+	saScores, err := saSvc.Scores(context.Background(), "tv1")
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package agg
 
 import (
+	"context"
+
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/engine"
@@ -70,8 +72,16 @@ func (p *PScheme) Aggregates(d *dataset.Dataset) Table {
 }
 
 // Evaluate runs the full pipeline and returns the aggregates along with the
-// suspicious marks and final rater trust.
+// suspicious marks and final rater trust. The Scheme interface is
+// deadline-free (simulation callers never cancel), so this runs under the
+// background context; servers that need cancellation drive engine.Resume
+// with their own context instead.
 func (p *PScheme) Evaluate(d *dataset.Dataset) *Result {
-	res := p.Engine().Evaluate(d)
+	res, err := p.Engine().Evaluate(context.Background(), d)
+	if err != nil {
+		// Background contexts cannot be cancelled and the engine returns
+		// errors only for cancellation; treat anything else as a bug.
+		panic("agg: Evaluate failed under background context: " + err.Error())
+	}
 	return &Result{Table: Table(res.Table), Suspicious: res.Suspicious, Trust: res.Trust}
 }

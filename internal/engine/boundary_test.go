@@ -27,14 +27,14 @@ func TestBoundaryDayZeroRating(t *testing.T) {
 	d := testDataset(t, 21, 2, horizon)
 	eng := &Engine{Detect: detect.DefaultConfig()}
 	st := NewState()
-	eng.Resume(st, d)
+	mustResume(t, eng, st, d)
 
 	addRating(t, d, st, d.Products[0].ID, dataset.Rating{Day: 0, Value: 3, Rater: "dayzero"})
 	if got := st.CompletedEpochs(); got != 0 {
 		t.Errorf("day-0 insert must invalidate everything: CompletedEpochs = %d", got)
 	}
 	cold := &Engine{Detect: detect.DefaultConfig()}
-	requireEqualResults(t, "day-0 rating", eng.Resume(st, d), cold.Evaluate(d))
+	requireEqualResults(t, "day-0 rating", mustResume(t, eng, st, d), mustEvaluate(t, cold, d))
 }
 
 // A horizon that is an exact 30-day multiple must close its last epoch with
@@ -44,7 +44,7 @@ func TestBoundaryExactMultipleHorizon(t *testing.T) {
 		d := testDataset(t, 31, 2, horizon)
 		eng := &Engine{Detect: detect.DefaultConfig()}
 		st := NewState()
-		res := eng.Resume(st, d)
+		res := mustResume(t, eng, st, d)
 		want := int(horizon / epoch.PeriodDays)
 		if got := st.CompletedEpochs(); got != want {
 			t.Errorf("horizon %v: CompletedEpochs = %d, want %d", horizon, got, want)
@@ -55,7 +55,7 @@ func TestBoundaryExactMultipleHorizon(t *testing.T) {
 			}
 		}
 		cold := &Engine{Detect: detect.DefaultConfig()}
-		requireEqualResults(t, "exact-multiple horizon", res, cold.Evaluate(d))
+		requireEqualResults(t, "exact-multiple horizon", res, mustEvaluate(t, cold, d))
 	}
 }
 
@@ -66,7 +66,7 @@ func TestBoundarySingleEpochHistory(t *testing.T) {
 	d := testDataset(t, 41, 2, epoch.PeriodDays)
 	eng := &Engine{Detect: detect.DefaultConfig()}
 	st := NewState()
-	eng.Resume(st, d)
+	mustResume(t, eng, st, d)
 	if got := st.CompletedEpochs(); got != 1 {
 		t.Fatalf("CompletedEpochs = %d, want 1", got)
 	}
@@ -75,7 +75,7 @@ func TestBoundarySingleEpochHistory(t *testing.T) {
 		t.Errorf("mid-epoch insert: CompletedEpochs = %d, want 0", got)
 	}
 	cold := &Engine{Detect: detect.DefaultConfig()}
-	requireEqualResults(t, "single epoch", eng.Resume(st, d), cold.Evaluate(d))
+	requireEqualResults(t, "single epoch", mustResume(t, eng, st, d), mustEvaluate(t, cold, d))
 }
 
 // A rating submitted at exactly day 30.0 lands in epoch 1 ([30, 60)), so
@@ -86,7 +86,7 @@ func TestBoundarySubmitOnCheckpoint(t *testing.T) {
 	d := testDataset(t, 51, 3, horizon)
 	eng := &Engine{Detect: detect.DefaultConfig()}
 	st := NewState()
-	eng.Resume(st, d)
+	mustResume(t, eng, st, d)
 	n := epoch.Periods(horizon)
 	if got := st.CompletedEpochs(); got != n {
 		t.Fatalf("CompletedEpochs = %d, want %d", got, n)
@@ -98,7 +98,7 @@ func TestBoundarySubmitOnCheckpoint(t *testing.T) {
 		t.Errorf("submit at day 30.0: CompletedEpochs = %d, want 1 (epoch 0 checkpoint must survive)", got)
 	}
 	cold := &Engine{Detect: detect.DefaultConfig()}
-	requireEqualResults(t, "submit on checkpoint", eng.Resume(st, d), cold.Evaluate(d))
+	requireEqualResults(t, "submit on checkpoint", mustResume(t, eng, st, d), mustEvaluate(t, cold, d))
 
 	// The last representable day before the boundary belongs to epoch 0 and
 	// must invalidate it too.
@@ -107,5 +107,5 @@ func TestBoundarySubmitOnCheckpoint(t *testing.T) {
 	if got := st.CompletedEpochs(); got != 0 {
 		t.Errorf("submit just before day 30: CompletedEpochs = %d, want 0", got)
 	}
-	requireEqualResults(t, "submit before checkpoint", eng.Resume(st, d), cold.Evaluate(d))
+	requireEqualResults(t, "submit before checkpoint", mustResume(t, eng, st, d), mustEvaluate(t, cold, d))
 }

@@ -28,10 +28,12 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/detect"
@@ -66,9 +68,10 @@ type Result struct {
 	Trust      *trust.Manager
 }
 
-// Evaluate runs the full pipeline cold (no checkpoint reuse).
-func (e *Engine) Evaluate(d *dataset.Dataset) *Result {
-	return e.Resume(NewState(), d)
+// Evaluate runs the full pipeline cold (no checkpoint reuse). It returns
+// ctx.Err() — and no result — if the context is cancelled mid-evaluation.
+func (e *Engine) Evaluate(ctx context.Context, d *dataset.Dataset) (*Result, error) {
+	return e.Resume(ctx, NewState(), d)
 }
 
 // Resume brings st up to date with the dataset and returns the evaluation
@@ -76,7 +79,17 @@ func (e *Engine) Evaluate(d *dataset.Dataset) *Result {
 // must have called st.Invalidate(day) for every rating day added, removed
 // or modified since the state was last resumed (NewState, or a state whose
 // product set or horizon changed, recomputes everything).
-func (e *Engine) Resume(st *EvalState, d *dataset.Dataset) *Result {
+//
+// Cancelling ctx stops the evaluation between products and between epochs
+// and returns ctx.Err(). Cancellation is checkpoint-safe: st only ever
+// holds trust snapshots of fully completed epochs (a half-analyzed epoch's
+// counts are discarded, never folded), so a later Resume with a live
+// context picks up exactly where the cancelled one stopped and produces a
+// bit-exact result — pinned by TestResumeCancelledMidEvaluate.
+func (e *Engine) Resume(ctx context.Context, st *EvalState, d *dataset.Dataset) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !st.matches(d) {
 		st.reset(d)
 	}
@@ -88,7 +101,9 @@ func (e *Engine) Resume(st *EvalState, d *dataset.Dataset) *Result {
 	// returned Result — are never mutated.
 	mgr := st.checkpoints[len(st.checkpoints)-1].Clone()
 	for ep := len(st.checkpoints) - 1; ep < n; ep++ {
-		e.runEpoch(d, ep, mgr)
+		if err := e.runEpoch(ctx, d, ep, mgr); err != nil {
+			return nil, err
+		}
 		st.checkpoints = append(st.checkpoints, mgr.Clone())
 	}
 
@@ -101,12 +116,17 @@ func (e *Engine) Resume(st *EvalState, d *dataset.Dataset) *Result {
 	// epoch count. Trust is read-only here, so products fan out freely.
 	marks := make([][]bool, len(d.Products))
 	scores := make([][]float64, len(d.Products))
-	e.forEachProduct(len(d.Products), func(i int, sc *detect.Scratch) {
+	err := e.forEachProduct(ctx, len(d.Products), func(i int, sc *detect.Scratch) {
 		prod := &d.Products[i]
 		rep := detect.AnalyzeWith(prod.Ratings, d.HorizonDays, e.Detect, mgr, sc)
 		marks[i] = rep.Suspicious
 		scores[i] = e.aggregateProduct(prod.Ratings, rep.Suspicious, d.HorizonDays, mgr)
 	})
+	if err != nil {
+		// The epoch checkpoints above are complete and remain valid; only
+		// this uncheckpointed final pass is abandoned.
+		return nil, err
+	}
 
 	res := &Result{
 		Table:      make(map[string][]float64, len(d.Products)),
@@ -117,7 +137,7 @@ func (e *Engine) Resume(st *EvalState, d *dataset.Dataset) *Result {
 		res.Table[prod.ID] = scores[i]
 		res.Suspicious[prod.ID] = marks[i]
 	}
-	return res
+	return res, nil
 }
 
 // raterCounts is one rater's in-epoch evidence: n ratings observed, f of
@@ -128,11 +148,13 @@ type raterCounts struct{ n, f int }
 // prefix [0, end-of-epoch) under the trust at the epoch start, count each
 // rater's (observed, suspicious) ratings inside the epoch, and fold the
 // counts into mgr. Analysis fans out per product; the fold happens after
-// the pool drains, so mgr is read-only while workers run.
-func (e *Engine) runEpoch(d *dataset.Dataset, ep int, mgr *trust.Manager) {
+// the pool drains, so mgr is read-only while workers run. On cancellation
+// the partially collected counts are discarded without touching mgr, so the
+// caller's trust state still describes a whole number of epochs.
+func (e *Engine) runEpoch(ctx context.Context, d *dataset.Dataset, ep int, mgr *trust.Manager) error {
 	lo, hi := epoch.PeriodInterval(ep, d.HorizonDays)
 	perProduct := make([]map[string]raterCounts, len(d.Products))
-	e.forEachProduct(len(d.Products), func(i int, sc *detect.Scratch) {
+	err := e.forEachProduct(ctx, len(d.Products), func(i int, sc *detect.Scratch) {
 		prod := &d.Products[i]
 		seen := prod.Ratings.Between(0, hi)
 		if len(seen) == 0 {
@@ -156,6 +178,9 @@ func (e *Engine) runEpoch(d *dataset.Dataset, ep int, mgr *trust.Manager) {
 		}
 		perProduct[i] = counts
 	})
+	if err != nil {
+		return err
+	}
 
 	// Merge and fold. The merged counts are integers, so the merge order
 	// cannot change any total; the fold into the trust manager then walks
@@ -180,6 +205,7 @@ func (e *Engine) runEpoch(d *dataset.Dataset, ep int, mgr *trust.Manager) {
 		c := total[rater]
 		mgr.Observe(rater, c.n, c.f)
 	}
+	return nil
 }
 
 // aggregateProduct computes one product's per-period scores (Eq. 7): marked
@@ -228,11 +254,44 @@ func (e *Engine) workers() int {
 // every product analysis warm buffers without any cross-worker sharing.
 var scratchPool = sync.Pool{New: func() any { return detect.NewScratch() }}
 
+// Worker-pool instrumentation: process-wide counters of products the pool
+// analyzed versus products it skipped because the caller's context was
+// already cancelled. They exist so tests (and the chaos harness) can prove
+// that cancelling an HTTP request actually stops detector work rather than
+// letting the pool drain at full cost.
+var (
+	poolAnalyzed atomic.Uint64
+	poolSkipped  atomic.Uint64
+)
+
+// PoolStats is a snapshot of the worker-pool counters.
+type PoolStats struct {
+	// Analyzed counts products whose detector analysis ran to completion.
+	Analyzed uint64
+	// Skipped counts products abandoned because the evaluation's context
+	// was cancelled before their analysis started.
+	Skipped uint64
+}
+
+// Stats returns the current process-wide worker-pool counters. Deltas
+// between two snapshots bound the work done in between; the absolute
+// values are cumulative since process start.
+func Stats() PoolStats {
+	return PoolStats{Analyzed: poolAnalyzed.Load(), Skipped: poolSkipped.Load()}
+}
+
 // forEachProduct runs fn(i) for i in [0, n) over a bounded worker pool in
 // the current goroutine plus up to workers()−1 helpers, handing each worker
 // its own detector scratch. fn must only write state owned by index i and
 // must not retain sc past the call.
-func (e *Engine) forEachProduct(n int, fn func(i int, sc *detect.Scratch)) {
+//
+// Cancellation is checked before every fn call: once ctx is cancelled no
+// new product analysis starts (already-running calls finish — detector
+// kernels are short), remaining indices are drained and counted as
+// skipped, and ctx.Err() is returned after the pool is fully quiesced, so
+// the caller may discard or reuse the output slices immediately.
+func (e *Engine) forEachProduct(ctx context.Context, n int, fn func(i int, sc *detect.Scratch)) error {
+	done := ctx.Done()
 	w := e.workers()
 	if w > n {
 		w = n
@@ -240,10 +299,16 @@ func (e *Engine) forEachProduct(n int, fn func(i int, sc *detect.Scratch)) {
 	if w <= 1 {
 		sc := scratchPool.Get().(*detect.Scratch)
 		for i := 0; i < n; i++ {
+			if done != nil && ctx.Err() != nil {
+				poolSkipped.Add(uint64(n - i))
+				scratchPool.Put(sc)
+				return ctx.Err()
+			}
 			fn(i, sc)
+			poolAnalyzed.Add(1)
 		}
 		scratchPool.Put(sc)
-		return
+		return nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -253,7 +318,14 @@ func (e *Engine) forEachProduct(n int, fn func(i int, sc *detect.Scratch)) {
 			defer wg.Done()
 			sc := scratchPool.Get().(*detect.Scratch)
 			for i := range idx {
+				if done != nil && ctx.Err() != nil {
+					// Keep draining so the feeder never blocks; every
+					// undone index is a skip.
+					poolSkipped.Add(1)
+					continue
+				}
 				fn(i, sc)
+				poolAnalyzed.Add(1)
 			}
 			scratchPool.Put(sc)
 		}()
@@ -263,4 +335,8 @@ func (e *Engine) forEachProduct(n int, fn func(i int, sc *detect.Scratch)) {
 	}
 	close(idx)
 	wg.Wait()
+	if done != nil {
+		return ctx.Err()
+	}
+	return nil
 }

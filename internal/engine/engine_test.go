@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -38,6 +39,26 @@ func testDataset(t testing.TB, seed uint64, products int, horizon float64) *data
 		t.Fatal(err)
 	}
 	return d
+}
+
+// mustEvaluate and mustResume run the engine under a background context,
+// failing the test on the (impossible without cancellation) error path.
+func mustEvaluate(t *testing.T, e *Engine, d *dataset.Dataset) *Result {
+	t.Helper()
+	res, err := e.Evaluate(context.Background(), d)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return res
+}
+
+func mustResume(t *testing.T, e *Engine, st *EvalState, d *dataset.Dataset) *Result {
+	t.Helper()
+	res, err := e.Resume(context.Background(), st, d)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	return res
 }
 
 // requireEqualResults fails unless a and b agree bit-for-bit on tables
@@ -92,7 +113,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		for _, w := range []int{2, runtime.GOMAXPROCS(0), 16} {
 			par := &Engine{Detect: detect.DefaultConfig(), Workers: w}
 			requireEqualResults(t, fmt.Sprintf("seed %d workers %d", seed, w),
-				par.Evaluate(d), serial.Evaluate(d))
+				mustEvaluate(t, par, d), mustEvaluate(t, serial, d))
 		}
 	}
 }
@@ -133,8 +154,8 @@ func TestIncrementalMatchesColdProperty(t *testing.T) {
 			eng := &Engine{Detect: detect.DefaultConfig()}
 			cold := &Engine{Detect: detect.DefaultConfig()}
 			st := NewState()
-			res := eng.Resume(st, live)
-			requireEqualResults(t, "initial", res, cold.Evaluate(live))
+			res := mustResume(t, eng, st, live)
+			requireEqualResults(t, "initial", res, mustEvaluate(t, cold, live))
 
 			for batch := 0; len(backlog) > 0; batch++ {
 				// Apply a random-sized batch of pending ratings.
@@ -151,13 +172,13 @@ func TestIncrementalMatchesColdProperty(t *testing.T) {
 					st.Invalidate(ins.r.Day)
 				}
 				backlog = backlog[n:]
-				res = eng.Resume(st, live)
+				res = mustResume(t, eng, st, live)
 				// The incremental state must stay consistent through every
 				// batch; the (expensive) cold reference runs on a sample of
 				// batches plus the final state.
 				if batch%5 == 0 || len(backlog) == 0 {
 					requireEqualResults(t, fmt.Sprintf("%d ratings left", len(backlog)),
-						res, cold.Evaluate(live))
+						res, mustEvaluate(t, cold, live))
 				}
 			}
 			if got, want := st.CompletedEpochs(), epoch.Periods(horizon); got != want {
@@ -172,7 +193,7 @@ func TestInvalidate(t *testing.T) {
 	d := testDataset(t, 5, 2, 150)
 	eng := &Engine{Detect: detect.DefaultConfig()}
 	st := NewState()
-	eng.Resume(st, d)
+	mustResume(t, eng, st, d)
 	n := epoch.Periods(150) // 5
 	if st.CompletedEpochs() != n {
 		t.Fatalf("CompletedEpochs = %d, want %d", st.CompletedEpochs(), n)
@@ -193,7 +214,7 @@ func TestInvalidate(t *testing.T) {
 	if st.CompletedEpochs() != 0 {
 		t.Errorf("Invalidate(-4): CompletedEpochs = %d, want 0", st.CompletedEpochs())
 	}
-	requireEqualResults(t, "after full invalidation", eng.Resume(st, d), eng.Evaluate(d))
+	requireEqualResults(t, "after full invalidation", mustResume(t, eng, st, d), mustEvaluate(t, eng, d))
 }
 
 // A state bound to one dataset identity must transparently reset — not
@@ -202,20 +223,20 @@ func TestStateResetsOnDatasetChange(t *testing.T) {
 	d1 := testDataset(t, 9, 3, 150)
 	eng := &Engine{Detect: detect.DefaultConfig()}
 	st := NewState()
-	eng.Resume(st, d1)
+	mustResume(t, eng, st, d1)
 
 	d2 := testDataset(t, 9, 3, 120) // different horizon
-	requireEqualResults(t, "horizon change", eng.Resume(st, d2), eng.Evaluate(d2))
+	requireEqualResults(t, "horizon change", mustResume(t, eng, st, d2), mustEvaluate(t, eng, d2))
 
 	d3 := testDataset(t, 9, 4, 120) // different product set
-	requireEqualResults(t, "product change", eng.Resume(st, d3), eng.Evaluate(d3))
+	requireEqualResults(t, "product change", mustResume(t, eng, st, d3), mustEvaluate(t, eng, d3))
 }
 
 // An empty dataset and empty products must evaluate without panicking.
 func TestEvaluateDegenerate(t *testing.T) {
 	d := &dataset.Dataset{HorizonDays: 90, Products: []dataset.Product{{ID: "empty"}}}
 	eng := &Engine{Detect: detect.DefaultConfig()}
-	res := eng.Evaluate(d)
+	res := mustEvaluate(t, eng, d)
 	scores := res.Table["empty"]
 	if len(scores) != epoch.Periods(90) {
 		t.Fatalf("scores length = %d, want %d", len(scores), epoch.Periods(90))

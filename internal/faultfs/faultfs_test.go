@@ -4,7 +4,9 @@ import (
 	"errors"
 	"io"
 	"os"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestCreateWriteReadRoundtrip(t *testing.T) {
@@ -147,6 +149,139 @@ func TestCloneIsIndependentCrashImage(t *testing.T) {
 	got, _ := img.ReadFile("log")
 	if string(got) != "before" {
 		t.Errorf("clone sees writes after the crash point: %q", got)
+	}
+}
+
+func TestLimitSpaceENOSPC(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("log")
+	fs.LimitSpace(4)
+	if n, err := f.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("within space budget: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("ef"))
+	if n != 0 || !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("past space budget: n=%d err=%v, want ENOSPC wrapping ErrInjected", n, err)
+	}
+	fs.ClearFaults()
+	if n, err := f.Write([]byte("ef")); n != 2 || err != nil {
+		t.Fatalf("after ClearFaults: n=%d err=%v", n, err)
+	}
+	got, _ := fs.ReadFile("log")
+	if string(got) != "abcdef" {
+		t.Errorf("contents = %q", got)
+	}
+}
+
+func TestStallSyncsBlocksOnlyCaller(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("log")
+	fs.StallSyncs(50 * time.Millisecond)
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("stalled sync returned in %v, want >= 50ms", d)
+	}
+	// While a sync stalls, writes and crash images must not block behind it.
+	fs.StallSyncs(200 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		f.Sync()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the sync enter its stall
+	wstart := time.Now()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Clone()
+	if d := time.Since(wstart); d > 100*time.Millisecond {
+		t.Errorf("write+clone blocked %v behind a stalled sync", d)
+	}
+	<-done
+}
+
+func TestSetOpLatency(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("log")
+	fs.SetOpLatency(20 * time.Millisecond)
+	start := time.Now()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("write with latency returned in %v, want >= 20ms", d)
+	}
+	fs.ClearFaults()
+	start = time.Now()
+	f.Write([]byte("y"))
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Errorf("write after ClearFaults took %v", d)
+	}
+}
+
+// TestCrashImageDropsUnsyncedTail pins the power-loss model: bytes written
+// after the last successful Sync do not survive into CrashImage, while
+// Clone (process kill) keeps them.
+func TestCrashImageDropsUnsyncedTail(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("log")
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("+pending"))
+
+	img := fs.CrashImage()
+	got, err := img.ReadFile("log")
+	if err != nil || string(got) != "durable" {
+		t.Errorf("CrashImage contents = %q, %v; want synced prefix only", got, err)
+	}
+	kept, _ := fs.Clone().ReadFile("log")
+	if string(kept) != "durable+pending" {
+		t.Errorf("Clone contents = %q; want every written byte", kept)
+	}
+
+	// A never-synced file survives as an empty entry.
+	g, _ := fs.Create("fresh")
+	g.Write([]byte("lost"))
+	img2 := fs.CrashImage()
+	got2, err := img2.ReadFile("fresh")
+	if err != nil || len(got2) != 0 {
+		t.Errorf("never-synced file in crash image = %q, %v; want empty", got2, err)
+	}
+}
+
+// TestCrashImageTracksRenameAndTruncate: the synced length must follow the
+// file through Rename (Compact's publish step) and shrink with Truncate
+// (Compact's log reset), or crash images of a compacted WAL would resurrect
+// stale log bytes.
+func TestCrashImageTracksRenameAndTruncate(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("snapshot.tmp")
+	f.Write([]byte("checkpoint"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("snapshot.tmp", "snapshot.json"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.CrashImage().ReadFile("snapshot.json")
+	if err != nil || string(got) != "checkpoint" {
+		t.Errorf("renamed synced file in crash image = %q, %v", got, err)
+	}
+
+	g, _ := fs.Create("wal.log")
+	g.Write([]byte("records"))
+	g.Sync()
+	if err := fs.Truncate("wal.log", 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.CrashImage().ReadFile("wal.log")
+	if err != nil || len(got) != 0 {
+		t.Errorf("truncated log in crash image = %q, %v; want empty", got, err)
 	}
 }
 

@@ -96,6 +96,10 @@ func runFixture(t *testing.T, a *Analyzer, dirs ...string) {
 	}
 }
 
+func TestCtxFirst(t *testing.T) {
+	runFixture(t, CtxFirst, "ctxfirst/internal/server")
+}
+
 func TestDetMapRange(t *testing.T) {
 	runFixture(t, DetMapRange, "detmaprange/internal/engine", "detmaprange/plain")
 }

@@ -38,7 +38,7 @@ func TestAllAnalyzers(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"detmaprange", "floateq", "walerr", "lockheld", "nowall"} {
+	for _, want := range []string{"ctxfirst", "detmaprange", "floateq", "walerr", "lockheld", "nowall"} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from All()", want)
 		}

@@ -20,6 +20,19 @@ func drops(w *wal.WAL, f *os.File, lf wal.File, fsys wal.FS) {
 	fsys.Rename("a", "b")       // want "Rename dropped"
 }
 
+func dropsAck(w *wal.WAL) {
+	w.AppendAck(wal.Record{})           // want "AppendAck dropped"
+	_, _ = w.AppendAck(wal.Record{})    // want "AppendAck dropped"
+	ack, _ := w.AppendAck(wal.Record{}) // want "AppendAck dropped"
+	_ = ack
+}
+
+func checkedAck(w *wal.WAL) error {
+	ack, err := w.AppendAck(wal.Record{}) // allowed: error consumed
+	_ = ack
+	return err
+}
+
 func dropsDeferred(w *wal.WAL) {
 	defer w.Sync() // want "Sync dropped"
 }

@@ -6,7 +6,7 @@ import (
 )
 
 // WALErr flags dropped error returns on the write-ahead log's durability
-// surface: wal.WAL Append/Sync/Compact, the wal.File and os.File Sync
+// surface: wal.WAL Append/AppendAck/Sync/Compact, the wal.File and os.File Sync
 // methods (fsync), and wal.FS Truncate/Rename (the crash-safety ordering of
 // Compact depends on them). An ignored error here silently converts "the
 // rating is durable" into "the rating is probably durable", which breaks
@@ -15,7 +15,7 @@ import (
 // Dropping a result deliberately requires `//lint:ignore walerr <rationale>`.
 var WALErr = &Analyzer{
 	Name: "walerr",
-	Doc: "flags dropped error returns from internal/wal Append/Sync/Compact, " +
+	Doc: "flags dropped error returns from internal/wal Append/AppendAck/Sync/Compact, " +
 		"File.Sync / os.File.Sync (fsync paths), and FS Truncate/Rename",
 	Run: runWALErr,
 }
@@ -27,7 +27,7 @@ var walErrMethods = []struct {
 	typ     string
 	methods map[string]bool
 }{
-	{"internal/wal", "WAL", map[string]bool{"Append": true, "Sync": true, "Compact": true}},
+	{"internal/wal", "WAL", map[string]bool{"Append": true, "AppendAck": true, "Sync": true, "Compact": true}},
 	{"internal/wal", "File", map[string]bool{"Sync": true}},
 	{"internal/wal", "FS", map[string]bool{"Truncate": true, "Rename": true}},
 	{"os", "File", map[string]bool{"Sync": true}},
@@ -45,9 +45,17 @@ func runWALErr(pass *Pass) error {
 			case *ast.GoStmt:
 				call = n.Call
 			case *ast.AssignStmt:
-				// Guarded methods return exactly one value (error), so a
-				// drop via assignment is `_ = w.Append(...)` — possibly as
-				// one of several RHS values.
+				// A multi-result call (AppendAck returns (Ack, error)) fans
+				// one RHS out across several LHS; the error is always the
+				// last result, so `ack, _ :=` and `_, _ =` both drop it.
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					if c, ok := n.Rhs[0].(*ast.CallExpr); ok && isBlank(n.Lhs[len(n.Lhs)-1]) {
+						checkWALCall(pass, c)
+					}
+					return true
+				}
+				// Single-result methods drop via a paired blank:
+				// `_ = w.Append(...)` — possibly one of several RHS values.
 				for i, rhs := range n.Rhs {
 					c, ok := rhs.(*ast.CallExpr)
 					if !ok || i >= len(n.Lhs) || !isBlank(n.Lhs[i]) {

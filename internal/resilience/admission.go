@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// AdmissionOptions configures the Admission middleware. Both limiters are
+// optional; a nil field disables that control.
+type AdmissionOptions struct {
+	// Limiter bounds concurrent in-flight requests (503 on overflow).
+	Limiter *Limiter
+	// Rate caps each client's request rate (429 on exhaustion).
+	Rate *RateLimiter
+	// KeyFunc extracts the rate-limit key from a request. Defaults to the
+	// X-API-Key header when present, else the remote host (without port).
+	KeyFunc func(*http.Request) string
+	// ExemptPaths bypass admission entirely — health probes must answer
+	// even (especially) when the service is saturated, or the balancer
+	// would kill exactly the instances that are busiest.
+	ExemptPaths map[string]bool
+	// RetryAfter is the Retry-After header value on 429/503 responses;
+	// defaults to "1".
+	RetryAfter string
+}
+
+// ClientKey is the default KeyFunc: the X-API-Key header when present,
+// else the remote address with the ephemeral port stripped so one client
+// is one bucket regardless of connection churn.
+func ClientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Admission wraps next with admission control. Order matters: the
+// per-client rate check runs first so a flooding client is billed before
+// it can occupy a concurrency slot or queue position; then the
+// concurrency limiter admits, queues, or sheds. The request's own context
+// governs its time in the queue — a deadline that expires while waiting
+// sheds the request immediately with 503.
+func Admission(next http.Handler, opts AdmissionOptions) http.Handler {
+	keyFunc := opts.KeyFunc
+	if keyFunc == nil {
+		keyFunc = ClientKey
+	}
+	retryAfter := opts.RetryAfter
+	if retryAfter == "" {
+		retryAfter = "1"
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if opts.ExemptPaths[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if opts.Rate != nil && !opts.Rate.Allow(keyFunc(r)) {
+			shed(w, http.StatusTooManyRequests, "client rate limit exceeded", retryAfter)
+			return
+		}
+		if opts.Limiter != nil {
+			if err := opts.Limiter.Acquire(r.Context()); err != nil {
+				shed(w, http.StatusServiceUnavailable, "server at capacity: "+err.Error(), retryAfter)
+				return
+			}
+			defer opts.Limiter.Release()
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shed writes a fast-fail rejection in the serving stack's JSON error
+// shape, always with Retry-After: every shed response is an invitation to
+// come back, not a closed door.
+func shed(w http.ResponseWriter, status int, msg, retryAfter string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", retryAfter)
+	w.WriteHeader(status)
+	// Encoding a flat map cannot fail; the client may already be gone,
+	// which is fine — it asked us to stop.
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

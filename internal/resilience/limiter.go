@@ -1,0 +1,190 @@
+// Package resilience is the serving stack's overload-control layer:
+// admission control for a rating service that must degrade predictably
+// under a client storm instead of queueing unboundedly and falling over.
+//
+// Two mechanisms compose:
+//
+//   - Limiter bounds concurrent in-flight work with a bounded FIFO wait
+//     queue. A request past both bounds is shed immediately; a queued
+//     request whose deadline expires is shed the moment it expires, not
+//     after it finally reaches the head. Shedding is therefore fast-fail
+//     by construction — the worst-case latency of a rejected request is
+//     its own deadline, never the backlog's.
+//
+//   - RateLimiter is a per-client token bucket (keyed on remote address
+//     or API key) that caps each client's sustained request rate, so one
+//     flooding client — the Sybil flood of the paper's attack model,
+//     translated to the serving plane — cannot monopolize the global
+//     concurrency budget.
+//
+// Admission wires both in front of an http.Handler, mapping rate
+// exhaustion to 429 and concurrency exhaustion to 503, both with
+// Retry-After, while exempting health probes.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Acquire when both the concurrency budget
+// and the wait queue are exhausted — the caller should shed the request
+// (HTTP 503) rather than wait.
+var ErrQueueFull = errors.New("resilience: wait queue full")
+
+// waiter is one queued Acquire. granted marks slot handoff: set under the
+// Limiter lock before ch is closed, read under the same lock by the
+// cancellation path to decide whether it lost the race to a handoff.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+// Limiter is a concurrency limiter with a bounded FIFO wait queue. The
+// zero value is not usable; construct with NewLimiter. All methods are
+// safe for concurrent use.
+type Limiter struct {
+	mu       sync.Mutex
+	inflight int
+	max      int
+	queue    []*waiter // FIFO; popped by Release (handoff) or cancellation
+	maxQueue int
+
+	// Counters for observability and chaos assertions (read via Stats).
+	admitted  uint64
+	shedFull  uint64
+	shedDead  uint64
+	handoffs  uint64
+	peakQueue int
+}
+
+// NewLimiter bounds work at maxInflight concurrent acquisitions with up
+// to maxQueue callers waiting FIFO behind them. maxInflight must be ≥ 1;
+// maxQueue may be 0 (no waiting: at capacity every Acquire sheds).
+func NewLimiter(maxInflight, maxQueue int) *Limiter {
+	if maxInflight < 1 {
+		panic("resilience: maxInflight must be >= 1")
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{max: maxInflight, maxQueue: maxQueue}
+}
+
+// Acquire claims a concurrency slot, waiting FIFO behind earlier callers
+// when the limiter is at capacity. It returns nil when the slot is held
+// (the caller MUST call Release exactly once), ErrQueueFull when the wait
+// queue is also at capacity, or ctx.Err() when the caller's deadline
+// expired first — in which case no slot is held and Release must not be
+// called. A caller that waited does not re-race for the slot: Release
+// hands the slot directly to the head of the queue, so admission order is
+// arrival order.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	l.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		l.shedDead++
+		l.mu.Unlock()
+		return err
+	}
+	if l.inflight < l.max {
+		l.inflight++
+		l.admitted++
+		l.mu.Unlock()
+		return nil
+	}
+	if len(l.queue) >= l.maxQueue {
+		l.shedFull++
+		l.mu.Unlock()
+		return ErrQueueFull
+	}
+	w := &waiter{ch: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	if len(l.queue) > l.peakQueue {
+		l.peakQueue = len(l.queue)
+	}
+	l.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		// Slot handed off by Release; inflight already accounts for us.
+		return nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		if w.granted {
+			// Release closed our channel between ctx firing and the lock:
+			// we own a slot we no longer want. Pass it on (or free it)
+			// so the handoff chain never leaks capacity.
+			l.releaseLocked()
+			l.shedDead++
+			l.mu.Unlock()
+			return ctx.Err()
+		}
+		// Still queued: unlink ourselves. O(queue) — acceptable because
+		// the queue is bounded and shallow by configuration.
+		for i, q := range l.queue {
+			if q == w {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				break
+			}
+		}
+		l.shedDead++
+		l.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire. If anyone is
+// waiting, the slot transfers to the queue head without touching the
+// inflight count — admission stays FIFO and capacity never dips.
+func (l *Limiter) Release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.releaseLocked()
+}
+
+func (l *Limiter) releaseLocked() {
+	if len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		w.granted = true
+		l.handoffs++
+		l.admitted++
+		close(w.ch)
+		return
+	}
+	if l.inflight <= 0 {
+		panic("resilience: Release without Acquire")
+	}
+	l.inflight--
+}
+
+// LimiterStats is a snapshot of the limiter's counters.
+type LimiterStats struct {
+	// Inflight and Queued are instantaneous; the rest are cumulative.
+	Inflight, Queued int
+	// Admitted counts successful acquisitions (immediate or via handoff).
+	Admitted uint64
+	// ShedQueueFull and ShedDeadline count rejections: queue overflow and
+	// context expiry (before or while queued), respectively.
+	ShedQueueFull, ShedDeadline uint64
+	// Handoffs counts slots transferred directly to a waiter.
+	Handoffs uint64
+	// PeakQueue is the deepest the wait queue has been.
+	PeakQueue int
+}
+
+// Stats returns a snapshot of the limiter's state and counters.
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterStats{
+		Inflight:      l.inflight,
+		Queued:        len(l.queue),
+		Admitted:      l.admitted,
+		ShedQueueFull: l.shedFull,
+		ShedDeadline:  l.shedDead,
+		Handoffs:      l.handoffs,
+		PeakQueue:     l.peakQueue,
+	}
+}

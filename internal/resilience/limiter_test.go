@@ -1,0 +1,312 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToCapacity(t *testing.T) {
+	l := NewLimiter(3, 0)
+	for i := 0; i < 3; i++ {
+		if err := l.Acquire(context.Background()); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("acquire past capacity with no queue = %v, want ErrQueueFull", err)
+	}
+	l.Release()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	st := l.Stats()
+	if st.Inflight != 3 || st.ShedQueueFull != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestLimiterFIFOHandoff: waiters are admitted in arrival order via
+// direct slot handoff, never re-racing newcomers.
+func TestLimiterFIFOHandoff(t *testing.T) {
+	l := NewLimiter(1, 8)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Serialize queue entry so arrival order is deterministic.
+			<-ready
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Release()
+		}(i)
+		ready <- struct{}{}
+		waitForQueued(t, l, i+1)
+	}
+	l.Release()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order = %v, want FIFO", order)
+		}
+	}
+	if st := l.Stats(); st.Handoffs != 8 {
+		t.Errorf("handoffs = %d, want 8", st.Handoffs)
+	}
+}
+
+// waitForQueued polls until the limiter reports n queued waiters.
+func waitForQueued(t *testing.T, l *Limiter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (stats %+v)", n, l.Stats())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestLimiterDeadlineShedsQueuedWaiter: a waiter whose ctx dies in the
+// queue is shed promptly and leaves no hole — the slot still reaches the
+// survivors behind it.
+func TestLimiterDeadlineShedsQueuedWaiter(t *testing.T) {
+	l := NewLimiter(1, 4)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed := make(chan error, 1)
+	go func() { doomed <- l.Acquire(ctx) }()
+	waitForQueued(t, l, 1)
+
+	survivor := make(chan error, 1)
+	go func() { survivor <- l.Acquire(context.Background()) }()
+	waitForQueued(t, l, 2)
+
+	cancel()
+	if err := <-doomed; !errors.Is(err, context.Canceled) {
+		t.Fatalf("doomed waiter err = %v", err)
+	}
+	l.Release()
+	if err := <-survivor; err != nil {
+		t.Fatalf("survivor err = %v (slot lost to the cancelled waiter?)", err)
+	}
+	if st := l.Stats(); st.ShedDeadline != 1 {
+		t.Errorf("stats = %+v, want ShedDeadline=1", st)
+	}
+}
+
+// TestLimiterNeverExceedsCapacity hammers the limiter from many
+// goroutines with mixed cancellation and asserts the inflight invariant
+// with an independent atomic counter. Run with -race in CI.
+func TestLimiterNeverExceedsCapacity(t *testing.T) {
+	const capacity, workers, rounds = 4, 32, 200
+	l := NewLimiter(capacity, 8)
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if (w+i)%3 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*100*time.Microsecond)
+				}
+				err := l.Acquire(ctx)
+				cancel()
+				if err != nil {
+					continue
+				}
+				cur := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inflight.Add(-1)
+				l.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("observed %d concurrent holders, capacity %d", p, capacity)
+	}
+	st := l.Stats()
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("limiter did not quiesce: %+v", st)
+	}
+}
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	r := NewRateLimiter(1, 3) // 1 rps, burst 3
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 3; i++ {
+		if !r.Allow("c1") {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if r.Allow("c1") {
+		t.Fatal("request past burst allowed")
+	}
+	// An independent client has its own bucket.
+	if !r.Allow("c2") {
+		t.Fatal("second client denied by first client's exhaustion")
+	}
+	// Half a second refills half a token: still denied.
+	now = now.Add(500 * time.Millisecond)
+	if r.Allow("c1") {
+		t.Fatal("allowed with a fractional token")
+	}
+	// Another 600ms crosses one whole token.
+	now = now.Add(600 * time.Millisecond)
+	if !r.Allow("c1") {
+		t.Fatal("denied after a full token refilled")
+	}
+	if st := r.Stats(); st.Denied != 2 {
+		t.Errorf("denied = %d, want 2", st.Denied)
+	}
+}
+
+// TestRateLimiterPrunesIdleBuckets: rotating keys must not grow the map
+// forever — fully refilled idle buckets are swept.
+func TestRateLimiterPrunesIdleBuckets(t *testing.T) {
+	r := NewRateLimiter(10, 10)
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+	for i := 0; i < 100; i++ {
+		r.Allow(fmt.Sprintf("churn%d", i))
+	}
+	if st := r.Stats(); st.Keys != 100 {
+		t.Fatalf("keys = %d", st.Keys)
+	}
+	// Past the idle floor every churn bucket is refilled and sweepable;
+	// the next new key triggers the sweep.
+	now = now.Add(2 * time.Minute)
+	r.Allow("fresh")
+	if st := r.Stats(); st.Keys != 1 {
+		t.Errorf("keys after sweep = %d, want 1 (just \"fresh\")", st.Keys)
+	}
+}
+
+func TestAdmissionMiddleware(t *testing.T) {
+	var served atomic.Int64
+	next := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+	rate := NewRateLimiter(1, 2)
+	now := time.Unix(0, 0)
+	rate.SetClock(func() time.Time { return now })
+	h := Admission(next, AdmissionOptions{
+		Limiter:     NewLimiter(2, 0),
+		Rate:        rate,
+		ExemptPaths: map[string]bool{"/healthz": true},
+	})
+
+	get := func(path, addr, key string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", path, nil)
+		req.RemoteAddr = addr
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		return rw
+	}
+
+	// Within burst: served.
+	if rw := get("/x", "10.0.0.1:1111", ""); rw.Code != http.StatusOK {
+		t.Fatalf("first request = %d", rw.Code)
+	}
+	// Same client, new ephemeral port: same bucket; burst 2 exhausts on
+	// the third call.
+	get("/x", "10.0.0.1:2222", "")
+	rw := get("/x", "10.0.0.1:3333", "")
+	if rw.Code != http.StatusTooManyRequests {
+		t.Fatalf("flooded client = %d, want 429", rw.Code)
+	}
+	if rw.Header().Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	// An API key overrides the address bucket.
+	if rw := get("/x", "10.0.0.1:4444", "partner"); rw.Code != http.StatusOK {
+		t.Errorf("keyed client = %d, want 200", rw.Code)
+	}
+	// Health probes bypass admission even for the flooded address.
+	if rw := get("/healthz", "10.0.0.1:5555", ""); rw.Code != http.StatusOK {
+		t.Errorf("exempt path = %d, want 200", rw.Code)
+	}
+}
+
+// TestAdmissionShedsAtCapacity: with the limiter saturated and no queue,
+// a new request sheds 503 fast.
+func TestAdmissionShedsAtCapacity(t *testing.T) {
+	release := make(chan struct{})
+	next := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	lim := NewLimiter(1, 0)
+	h := Admission(next, AdmissionOptions{Limiter: lim})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	defer close(release)
+
+	first := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+		first <- err
+	}()
+	// Wait until the first request holds the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for lim.Stats().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/shed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request = %d, want 503", resp.StatusCode)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("shed took %v, want fast-fail", d)
+	}
+	release <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+}

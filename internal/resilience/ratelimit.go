@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a keyed token-bucket rate limiter: each client key gets
+// an independent bucket of burst tokens refilled at rate tokens/second.
+// The zero value is not usable; construct with NewRateLimiter. All
+// methods are safe for concurrent use.
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time
+
+	// lastSweep tracks idle-bucket pruning so a rotating attacker cannot
+	// grow the map without bound: a bucket untouched for a full refill
+	// (burst/rate seconds, floored at idleFloor) is indistinguishable
+	// from a fresh one and is dropped.
+	lastSweep time.Time
+
+	denied uint64
+}
+
+// idleFloor is the minimum idle age before a bucket may be pruned.
+const idleFloor = time.Minute
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter allows each key rate requests/second sustained with
+// bursts of burst. rate must be > 0; burst is floored at 1.
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if rate <= 0 {
+		panic("resilience: rate must be > 0")
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the limiter's clock (tests).
+func (r *RateLimiter) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Allow reports whether one request from key may proceed now, consuming a
+// token if so. A new key starts with a full burst.
+func (r *RateLimiter) Allow(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	b, ok := r.buckets[key]
+	if !ok {
+		if r.lastSweep.IsZero() {
+			r.lastSweep = now
+		}
+		r.sweepLocked(now)
+		b = &bucket{tokens: r.burst, last: now}
+		r.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * r.rate
+		if b.tokens > r.burst {
+			b.tokens = r.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		r.denied++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked prunes buckets idle long enough to have fully refilled —
+// dropping them cannot grant anyone extra tokens. Runs at most once per
+// idle window, only on the new-key path, so steady-state Allow stays O(1).
+func (r *RateLimiter) sweepLocked(now time.Time) {
+	idle := time.Duration(r.burst / r.rate * float64(time.Second))
+	if idle < idleFloor {
+		idle = idleFloor
+	}
+	if now.Sub(r.lastSweep) < idle {
+		return
+	}
+	r.lastSweep = now
+	for key, b := range r.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(r.buckets, key)
+		}
+	}
+}
+
+// RateStats is a snapshot of the rate limiter's counters.
+type RateStats struct {
+	// Keys is the number of live client buckets; Denied counts rejected
+	// requests across all keys.
+	Keys   int
+	Denied uint64
+}
+
+// Stats returns a snapshot of the limiter's counters.
+func (r *RateLimiter) Stats() RateStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RateStats{Keys: len(r.buckets), Denied: r.denied}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -28,10 +29,10 @@ func (f flakyScheme) Aggregates(d *dataset.Dataset) agg.Table {
 func TestDegradedRecomputeServesStale(t *testing.T) {
 	var fail atomic.Bool
 	s := newService(t, flakyScheme{fail: &fail})
-	if err := s.Submit("tv1", "r1", 4, 1); err != nil {
+	if err := s.Submit(context.Background(), "tv1", "r1", 4, 1); err != nil {
 		t.Fatal(err)
 	}
-	good, err := s.Scores("tv1")
+	good, err := s.Scores(context.Background(), "tv1")
 	if err != nil || good[0] != 4 {
 		t.Fatalf("healthy scores = %v, %v", good, err)
 	}
@@ -41,17 +42,17 @@ func TestDegradedRecomputeServesStale(t *testing.T) {
 
 	// Break the scheme, then dirty the cache.
 	fail.Store(true)
-	if err := s.Submit("tv1", "r2", 2, 1); err != nil {
+	if err := s.Submit(context.Background(), "tv1", "r2", 2, 1); err != nil {
 		t.Fatal(err)
 	}
-	stale, err := s.Scores("tv1")
+	stale, err := s.Scores(context.Background(), "tv1")
 	if err != nil {
 		t.Fatalf("degraded read failed outright: %v", err)
 	}
 	if stale[0] != 4 {
 		t.Errorf("degraded scores = %v, want the last good table (period 0 = 4)", stale)
 	}
-	rep, err := s.Inspect("tv1")
+	rep, err := s.Inspect(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,23 +67,23 @@ func TestDegradedRecomputeServesStale(t *testing.T) {
 	}
 	// A repeated read must serve the cached stale table without invoking
 	// the broken scheme again (no panic storm): dirty was consumed.
-	if _, err := s.Scores("tv1"); err != nil {
+	if _, err := s.Scores(context.Background(), "tv1"); err != nil {
 		t.Fatal(err)
 	}
 
 	// Heal the scheme; the next data change triggers a clean recompute.
 	fail.Store(false)
-	if err := s.Submit("tv1", "r3", 3, 1); err != nil {
+	if err := s.Submit(context.Background(), "tv1", "r3", 3, 1); err != nil {
 		t.Fatal(err)
 	}
-	healed, err := s.Scores("tv1")
+	healed, err := s.Scores(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := (4.0 + 2.0 + 3.0) / 3.0; healed[0] != want {
 		t.Errorf("healed scores[0] = %v, want %v", healed[0], want)
 	}
-	rep, _ = s.Inspect("tv1")
+	rep, _ = s.Inspect(context.Background(), "tv1")
 	if rep.Stale {
 		t.Error("report still stale after successful recompute")
 	}
@@ -108,7 +109,7 @@ func TestSubmitRejectsNonFinite(t *testing.T) {
 		{"-Inf day", 4, math.Inf(-1)},
 	}
 	for _, tc := range cases {
-		if err := s.Submit("tv1", "r-"+tc.name, tc.value, tc.day); err == nil {
+		if err := s.Submit(context.Background(), "tv1", "r-"+tc.name, tc.value, tc.day); err == nil {
 			t.Errorf("%s accepted", tc.name)
 		}
 	}
@@ -116,10 +117,10 @@ func TestSubmitRejectsNonFinite(t *testing.T) {
 		t.Fatalf("non-finite submissions mutated state: %d ratings", n)
 	}
 	// The aggregate path stays NaN-free for rated periods.
-	if err := s.Submit("tv1", "honest", 4, 1); err != nil {
+	if err := s.Submit(context.Background(), "tv1", "honest", 4, 1); err != nil {
 		t.Fatal(err)
 	}
-	scores, err := s.Scores("tv1")
+	scores, err := s.Scores(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}

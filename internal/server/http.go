@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,7 +21,7 @@ const maxSubmitBody = 1 << 16
 //	GET  /products/{id}/report     defense report (ratings, marks, scores)
 //	GET  /raters/{id}/trust        current beta trust
 //	GET  /healthz                  liveness (always 200 while serving)
-//	GET  /readyz                   readiness (503 on WAL failure or stale aggregates)
+//	GET  /readyz                   readiness (200 ready/degraded with JSON detail, 503 + Retry-After on WAL failure)
 //
 // All responses are JSON. Errors map to 400 (bad input), 404 (unknown
 // product), 409 (duplicate rating), 413 (oversized body) and 503 (storage
@@ -106,11 +107,19 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	if err := s.Submit(req.Product, req.Rater, req.Value, req.Day); err != nil {
+	ack, err := s.SubmitAck(r.Context(), req.Product, req.Rater, req.Value, req.Day)
+	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, map[string]string{"status": "accepted"})
+	// The ack is explicit in every 201: "durable" means the rating survives
+	// a crash from this instant; "pending" means the WAL's fsync breaker is
+	// open and the rating rides the next group commit — never silently
+	// dropped, but a client that requires hard durability can retry later.
+	s.writeJSON(w, http.StatusCreated, map[string]string{
+		"status":     "accepted",
+		"durability": ack.String(),
+	})
 }
 
 func (s *Service) handleProducts(w http.ResponseWriter, _ *http.Request) {
@@ -118,7 +127,7 @@ func (s *Service) handleProducts(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Service) handleScores(w http.ResponseWriter, r *http.Request) {
-	scores, err := s.Scores(r.PathValue("id"))
+	scores, err := s.Scores(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -127,7 +136,7 @@ func (s *Service) handleScores(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.Inspect(r.PathValue("id"))
+	rep, err := s.Inspect(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -137,7 +146,7 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleTrust(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]float64{"trust": s.Trust(r.PathValue("id"))})
+	s.writeJSON(w, http.StatusOK, map[string]float64{"trust": s.Trust(r.Context(), r.PathValue("id"))})
 }
 
 // handleHealthz is the liveness probe: the process is up and serving.
@@ -145,15 +154,23 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is the readiness probe: 503 while the WAL is failed or the
-// last aggregate recompute did not succeed, so load balancers drain a
-// degraded instance instead of feeding it writes it cannot make durable.
+// handleReadyz is the readiness probe. The JSON body is server.Health;
+// the status code separates "pull from rotation" from "keep serving":
+//
+//	ready     → 200 {"status":"ready",...}
+//	degraded  → 200 {"status":"degraded","reasons":[...]} — stale
+//	            aggregates or pending-durability acks; the instance keeps
+//	            serving, operators get the warning.
+//	not-ready → 503 + Retry-After — the WAL is failed, durable writes are
+//	            rejected; load balancers drain the instance.
 func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if err := s.Ready(); err != nil {
-		s.writeError(w, http.StatusServiceUnavailable, err)
+	h := s.Health()
+	if h.Status == StatusNotReady {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		s.writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, h)
 }
 
 // sanitizeNaN replaces NaN (periods without ratings) with -1, which JSON
@@ -170,6 +187,11 @@ func sanitizeNaN(scores []float64) []float64 {
 	return out
 }
 
+// retryAfterSeconds is the Retry-After hint attached to every shed or
+// unavailable response: long enough for a breaker probe or a recompute to
+// finish, short enough that clients re-offer load promptly.
+const retryAfterSeconds = "1"
+
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownProduct):
@@ -177,6 +199,12 @@ func statusFor(err error) int {
 	case errors.Is(err, ErrDuplicateRating):
 		return http.StatusConflict
 	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client's deadline expired (or it went away) while the request
+		// was queued or mid-evaluation; the work was shed, nothing was
+		// committed. 503 + Retry-After tells a proxy to re-offer the
+		// request when there is budget again.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
@@ -196,5 +224,8 @@ func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Service) writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }

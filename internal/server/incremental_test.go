@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -41,7 +42,7 @@ func TestIncrementalServerMatchesBatchEvaluate(t *testing.T) {
 		rater := fmt.Sprintf("r%d", i)
 		day := rng.Float64() * horizon // random order: constant mid-history invalidation
 		value := dataset.QuantizeHalfStar(rng.Float64() * 5)
-		if err := svc.Submit(product, rater, value, day); err != nil {
+		if err := svc.Submit(context.Background(), product, rater, value, day); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 		p, err := mirror.Product(product)
@@ -54,7 +55,7 @@ func TestIncrementalServerMatchesBatchEvaluate(t *testing.T) {
 		// Force a recompute mid-stream every so often, so the final state
 		// is the product of many incremental resumes, not one.
 		if i%25 == 24 {
-			if _, err := svc.Scores(products[0]); err != nil {
+			if _, err := svc.Scores(context.Background(), products[0]); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -62,7 +63,7 @@ func TestIncrementalServerMatchesBatchEvaluate(t *testing.T) {
 
 	ref := agg.NewPScheme().Evaluate(mirror)
 	for _, id := range products {
-		got, err := svc.Scores(id)
+		got, err := svc.Scores(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestIncrementalServerMatchesBatchEvaluate(t *testing.T) {
 				t.Errorf("product %s period %d: incremental %v, batch %v", id, i, got[i], want[i])
 			}
 		}
-		rep, err := svc.Inspect(id)
+		rep, err := svc.Inspect(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestIncrementalServerMatchesBatchEvaluate(t *testing.T) {
 		}
 	}
 	for _, rater := range raters {
-		if got, want := svc.Trust(rater), ref.Trust.Trust(rater); math.Float64bits(got) != math.Float64bits(want) {
+		if got, want := svc.Trust(context.Background(), rater), ref.Trust.Trust(rater); math.Float64bits(got) != math.Float64bits(want) {
 			t.Errorf("trust(%s): incremental %v, batch %v", rater, got, want)
 		}
 	}
@@ -108,7 +109,7 @@ func TestOutOfOrderSubmitInvalidatesSuffix(t *testing.T) {
 	rng := stats.NewRNG(5)
 	add := func(rater string, day, value float64) {
 		t.Helper()
-		if err := svc.Submit("tv1", rater, value, day); err != nil {
+		if err := svc.Submit(context.Background(), "tv1", rater, value, day); err != nil {
 			t.Fatal(err)
 		}
 		p, _ := mirror.Product("tv1")
@@ -117,7 +118,7 @@ func TestOutOfOrderSubmitInvalidatesSuffix(t *testing.T) {
 	for i := 0; i < 120; i++ {
 		add(fmt.Sprintf("h%d", i), rng.Float64()*150, dataset.QuantizeHalfStar(3.5+rng.NormFloat64()*0.6))
 	}
-	if _, err := svc.Scores("tv1"); err != nil { // checkpoint all epochs
+	if _, err := svc.Scores(context.Background(), "tv1"); err != nil { // checkpoint all epochs
 		t.Fatal(err)
 	}
 	// A burst of day-5 low ratings lands in epoch 0 after everything was
@@ -125,7 +126,7 @@ func TestOutOfOrderSubmitInvalidatesSuffix(t *testing.T) {
 	for i := 0; i < 25; i++ {
 		add(fmt.Sprintf("late%d", i), 5+rng.Float64()*3, 0.5)
 	}
-	got, err := svc.Scores("tv1")
+	got, err := svc.Scores(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}

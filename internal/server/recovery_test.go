@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -36,7 +37,7 @@ func runWorkload(t *testing.T, scheme agg.Scheme, n int) (fs *faultfs.FS, logByt
 	}
 	for i := 0; i < n; i++ {
 		p, r, v, d := workloadRating(i)
-		if err := svc.Submit(p, r, v, d); err != nil {
+		if err := svc.Submit(context.Background(), p, r, v, d); err != nil {
 			t.Fatalf("workload submit %d: %v", i, err)
 		}
 		size, err := fs.Size("wal.log")
@@ -107,7 +108,7 @@ func TestCrashRecoveryEveryByte(t *testing.T) {
 		}
 		for refK < wantK {
 			p, r, v, d := workloadRating(refK)
-			if err := ref.Submit(p, r, v, d); err != nil {
+			if err := ref.Submit(context.Background(), p, r, v, d); err != nil {
 				t.Fatal(err)
 			}
 			refK++
@@ -160,7 +161,7 @@ func TestCrashRecoveryPropertyP(t *testing.T) {
 		}
 		for refK < wantK {
 			p, r, v, d := workloadRating(refK)
-			if err := ref.Submit(p, r, v, d); err != nil {
+			if err := ref.Submit(context.Background(), p, r, v, d); err != nil {
 				t.Fatal(err)
 			}
 			refK++
@@ -184,11 +185,11 @@ func TestCrashRecoveryPropertyP(t *testing.T) {
 func compareScores(t *testing.T, got, want *Service, cut int64) {
 	t.Helper()
 	for _, id := range workloadProducts {
-		gs, err := got.Scores(id)
+		gs, err := got.Scores(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ws, err := want.Scores(id)
+		ws, err := want.Scores(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,14 +215,14 @@ func TestFsyncFailureDoesNotCorruptState(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		p, r, v, d := workloadRating(i)
-		if err := svc.Submit(p, r, v, d); err != nil {
+		if err := svc.Submit(context.Background(), p, r, v, d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	before, _ := svc.Scores("tv0")
+	before, _ := svc.Scores(context.Background(), "tv0")
 
 	fs.FailSyncsAfter(0)
-	if err := svc.Submit("tv0", "victim", 4, 10); !errors.Is(err, ErrUnavailable) {
+	if err := svc.Submit(context.Background(), "tv0", "victim", 4, 10); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("submit with failing fsync = %v, want ErrUnavailable", err)
 	}
 	if n, _ := svc.RatingCount("tv0"); n != 1 {
@@ -232,13 +233,13 @@ func TestFsyncFailureDoesNotCorruptState(t *testing.T) {
 	fs.ClearFaults()
 	// The WAL failure is sticky even after the FS heals — acknowledged-
 	// but-unsynced bytes cannot be trusted, so only a restart recovers.
-	if err := svc.Submit("tv0", "victim", 4, 10); !errors.Is(err, ErrUnavailable) {
+	if err := svc.Submit(context.Background(), "tv0", "victim", 4, 10); !errors.Is(err, ErrUnavailable) {
 		t.Errorf("submit after heal = %v, want sticky ErrUnavailable", err)
 	}
 	if err := svc.Ready(); err == nil {
 		t.Error("Ready() = nil on a service with a poisoned WAL")
 	}
-	after, err := svc.Scores("tv0")
+	after, err := svc.Scores(context.Background(), "tv0")
 	if err != nil {
 		t.Fatalf("reads must keep working while degraded: %v", err)
 	}
@@ -299,7 +300,7 @@ func TestSnapshotCompactBoundsLog(t *testing.T) {
 	fullRecord := int64(0)
 	for i := 0; i < 35; i++ {
 		p, r, v, d := workloadRating(i)
-		if err := svc.Submit(p, r, v, d); err != nil {
+		if err := svc.Submit(context.Background(), p, r, v, d); err != nil {
 			t.Fatal(err)
 		}
 		if i == 0 {
@@ -322,11 +323,11 @@ func TestSnapshotCompactBoundsLog(t *testing.T) {
 	ref, _ := New(agg.SAScheme{}, 90, workloadProducts)
 	for i := 0; i < 35; i++ {
 		p, r, v, d := workloadRating(i)
-		ref.Submit(p, r, v, d)
+		ref.Submit(context.Background(), p, r, v, d)
 	}
 	for _, id := range workloadProducts {
-		got, _ := svc2.Scores(id)
-		want, _ := ref.Scores(id)
+		got, _ := svc2.Scores(context.Background(), id)
+		want, _ := ref.Scores(context.Background(), id)
 		for i := range want {
 			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
 				t.Fatalf("%s period %d: recovered score %v, want %v", id, i, got[i], want[i])
@@ -347,7 +348,7 @@ func TestCrashBetweenSnapshotAndLogReset(t *testing.T) {
 	}
 	for i := 0; i < 10; i++ {
 		p, r, v, d := workloadRating(i)
-		if err := svc.Submit(p, r, v, d); err != nil {
+		if err := svc.Submit(context.Background(), p, r, v, d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -394,13 +395,13 @@ func TestRecoveryReportsInvalidRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.Submit("tv0", "ok", 4, 10); err != nil {
+	if err := svc.Submit(context.Background(), "tv0", "ok", 4, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.Submit("tv1", "gone", 3, 20); err != nil { // product dropped below
+	if err := svc.Submit(context.Background(), "tv1", "gone", 3, 20); err != nil { // product dropped below
 		t.Fatal(err)
 	}
-	if err := svc.Submit("tv0", "late", 5, 80); err != nil { // beyond the new horizon
+	if err := svc.Submit(context.Background(), "tv0", "late", 5, 80); err != nil { // beyond the new horizon
 		t.Fatal(err)
 	}
 	svc.Close()

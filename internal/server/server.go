@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -120,6 +121,14 @@ type WALOptions struct {
 	// wal.Options. Zero SyncEvery means fsync on every append.
 	SyncEvery    int
 	SyncInterval time.Duration
+	// StallThreshold arms the WAL's fsync-latency circuit breaker: a
+	// successful fsync slower than this trips the breaker and flips Submit
+	// acks to durability=pending until a background probe observes a fast
+	// fsync again. Zero disables the breaker. ProbeInterval sets how often
+	// the open breaker probes (and group-commits pending records); zero
+	// means the wal package default.
+	StallThreshold time.Duration
+	ProbeInterval  time.Duration
 	// SnapshotEvery checkpoints the dataset and resets the log after this
 	// many accepted ratings, bounding recovery time. 0 disables automatic
 	// snapshots (the log grows until Close).
@@ -152,11 +161,15 @@ const maxSkipReasons = 16
 // with strict durability defaults (fsync every append, snapshot every
 // 4096 ratings). It replays any existing snapshot + log before returning,
 // so the service resumes exactly where a crashed predecessor stopped.
+//
+//lint:ignore ctxfirst boot-time recovery precedes serving; there is no request context to propagate and a partial replay must not be served
 func Open(scheme agg.Scheme, horizonDays float64, products []string, walDir string) (*Service, *RecoveryReport, error) {
 	return OpenWAL(scheme, horizonDays, products, WALOptions{Dir: walDir, SnapshotEvery: 4096})
 }
 
 // OpenWAL is Open with explicit durability options.
+//
+//lint:ignore ctxfirst boot-time recovery precedes serving; there is no request context to propagate and a partial replay must not be served
 func OpenWAL(scheme agg.Scheme, horizonDays float64, products []string, opts WALOptions) (*Service, *RecoveryReport, error) {
 	s, err := New(scheme, horizonDays, products)
 	if err != nil {
@@ -173,8 +186,10 @@ func OpenWAL(scheme agg.Scheme, horizonDays float64, products []string, opts WAL
 		}
 	}
 	w, rec, err := wal.Open(fsys, wal.Options{
-		SyncEvery:    opts.SyncEvery,
-		SyncInterval: opts.SyncInterval,
+		SyncEvery:      opts.SyncEvery,
+		SyncInterval:   opts.SyncInterval,
+		StallThreshold: opts.StallThreshold,
+		ProbeInterval:  opts.ProbeInterval,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -256,9 +271,12 @@ func (s *Service) logf(format string, args ...any) {
 // Load seeds the service with an existing dataset (e.g. history read from
 // disk), replacing all current ratings. On a durable service the loaded
 // dataset is immediately checkpointed so it survives a crash.
-func (s *Service) Load(d *dataset.Dataset) error {
+func (s *Service) Load(ctx context.Context, d *dataset.Dataset) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	seen := make(map[string]map[string]bool, len(d.Products))
 	for _, p := range d.Products {
 		m := make(map[string]bool, len(p.Ratings))
@@ -295,47 +313,69 @@ func (s *Service) markDirtyLocked(day float64) {
 // dirtyLocked reports whether the cached table is out of date.
 func (s *Service) dirtyLocked() bool { return !math.IsInf(s.dirtyFrom, 1) }
 
-// Submit records one rating, durably if the service has a WAL: the rating
-// is appended (and fsynced per the group-commit policy) before any
+// Submit records one rating, durably if the service has a WAL. It is
+// SubmitAck with the durability level discarded — callers that surface ack
+// semantics to clients (the HTTP handler) use SubmitAck directly.
+func (s *Service) Submit(ctx context.Context, product, rater string, value, day float64) error {
+	_, err := s.SubmitAck(ctx, product, rater, value, day)
+	return err
+}
+
+// SubmitAck records one rating, durably if the service has a WAL: the
+// rating is appended (and fsynced per the group-commit policy) before any
 // in-memory state changes, so an acknowledgement implies the rating will
 // survive a crash and a storage failure surfaces as ErrUnavailable rather
-// than a silent ack. The ground-truth Unfair flag of incoming ratings is
-// ignored — a live system has no oracle.
-func (s *Service) Submit(product, rater string, value, day float64) error {
+// than a silent ack. The returned Ack qualifies the durability promise:
+// AckDurable means the record is covered by a completed fsync (or by the
+// group-commit policy's bounded window); AckPending means the WAL's fsync
+// circuit breaker is open — the record is written and will be group-
+// committed by the breaker's probe, but a power loss before then may drop
+// it. A cancelled ctx sheds the request before any WAL write. The
+// ground-truth Unfair flag of incoming ratings is ignored — a live system
+// has no oracle.
+func (s *Service) SubmitAck(ctx context.Context, product, rater string, value, day float64) (wal.Ack, error) {
 	// NaN fails every ordered comparison, so explicit finiteness checks
 	// must come first: without them a NaN value or day sails past the
 	// range guards and poisons every downstream aggregate.
 	if math.IsNaN(value) || math.IsInf(value, 0) {
-		return fmt.Errorf("%w: non-finite value %v", ErrBadRating, value)
+		return wal.AckDurable, fmt.Errorf("%w: non-finite value %v", ErrBadRating, value)
 	}
 	if math.IsNaN(day) || math.IsInf(day, 0) {
-		return fmt.Errorf("%w: non-finite day %v", ErrBadRating, day)
+		return wal.AckDurable, fmt.Errorf("%w: non-finite day %v", ErrBadRating, day)
 	}
 	if value < dataset.MinValue || value > dataset.MaxValue {
-		return fmt.Errorf("%w: value %v", ErrBadRating, value)
+		return wal.AckDurable, fmt.Errorf("%w: value %v", ErrBadRating, value)
 	}
 	if rater == "" {
-		return fmt.Errorf("%w: empty rater", ErrBadRating)
+		return wal.AckDurable, fmt.Errorf("%w: empty rater", ErrBadRating)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.checkLocked(product, rater, day); err != nil {
-		return err
+	// A request whose deadline expired while queued on the lock is shed
+	// before it costs an fsync; nothing has been written for it yet.
+	if err := ctx.Err(); err != nil {
+		return wal.AckDurable, err
 	}
+	if err := s.checkLocked(product, rater, day); err != nil {
+		return wal.AckDurable, err
+	}
+	ack := wal.AckDurable
 	if s.wal != nil {
 		rec := wal.Record{
 			Product: product, Rater: rater, Value: value, Day: day,
 			ReceivedUnixNano: s.now().UnixNano(),
 		}
-		if err := s.wal.Append(rec); err != nil {
-			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		var err error
+		ack, err = s.wal.AppendAck(rec)
+		if err != nil {
+			return ack, fmt.Errorf("%w: %v", ErrUnavailable, err)
 		}
 	}
 	if err := s.applyLocked(product, rater, value, day); err != nil {
-		return err // unreachable after checkLocked; kept for safety
+		return ack, err // unreachable after checkLocked; kept for safety
 	}
 	s.maybeSnapshotLocked()
-	return nil
+	return ack, nil
 }
 
 // checkLocked runs the stateful Submit validations (day range, product
@@ -397,12 +437,16 @@ func (s *Service) maybeSnapshotLocked() {
 }
 
 // Checkpoint forces a snapshot + log compaction now. It is a no-op on a
-// non-durable service.
-func (s *Service) Checkpoint() error {
+// non-durable service. A ctx already cancelled when the lock is acquired
+// skips the compaction (the log keeps growing until the next trigger).
+func (s *Service) Checkpoint(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := s.wal.Compact(s.data); err != nil {
 		return fmt.Errorf("%w: %v", ErrUnavailable, err)
@@ -422,9 +466,11 @@ func (s *Service) Close() error {
 	return s.wal.Close()
 }
 
-// Ready reports whether the service can safely take traffic: the WAL (if
+// Ready reports whether the service is fully healthy: the WAL (if
 // configured) has no sticky storage failure and the last aggregate
-// recompute did not fail. It backs the /readyz probe.
+// recompute did not fail. Any departure from full health — including
+// degraded-but-serving states — is an error here; the /readyz probe uses
+// the finer-grained Health instead.
 func (s *Service) Ready() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -437,6 +483,60 @@ func (s *Service) Ready() error {
 		return fmt.Errorf("server: aggregates stale: %v", s.staleErr)
 	}
 	return nil
+}
+
+// Health statuses, in decreasing order of health. A degraded service keeps
+// serving (load balancers should keep routing to it, operators should
+// look at it); a not-ready service must be taken out of rotation.
+const (
+	StatusReady    = "ready"
+	StatusDegraded = "degraded"
+	StatusNotReady = "not-ready"
+)
+
+// Health is the structured readiness report behind /readyz.
+type Health struct {
+	// Status is StatusReady, StatusDegraded, or StatusNotReady.
+	Status string `json:"status"`
+	// Durability is the current Submit ack mode: "durable" under a healthy
+	// WAL, "pending" while the fsync circuit breaker is open (writes are
+	// logged and group-committed by the breaker's probe, but a power loss
+	// may drop the tail), or "none" for an in-memory service.
+	Durability string `json:"durability"`
+	// Reasons lists why the service is not fully ready (empty when ready).
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health classifies the service state for the /readyz probe:
+//
+//	not-ready — the WAL has a sticky failure; durable submissions are
+//	            being rejected. Serve 503, pull from rotation.
+//	degraded  — serving, but below full fidelity: the last recompute
+//	            failed (aggregates stale) or the fsync breaker is open
+//	            (acks pending). Serve 200 with the reasons as a warning.
+//	ready     — full fidelity.
+func (s *Service) Health() Health {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := Health{Status: StatusReady, Durability: "none"}
+	if s.wal != nil {
+		h.Durability = "durable"
+		if err := s.wal.Err(); err != nil {
+			h.Status = StatusNotReady
+			h.Reasons = append(h.Reasons, fmt.Sprintf("wal failed: %v", err))
+			return h
+		}
+		if s.wal.Degraded() {
+			h.Status = StatusDegraded
+			h.Durability = wal.AckPending.String()
+			h.Reasons = append(h.Reasons, "fsync breaker open: submissions acknowledged durability=pending")
+		}
+	}
+	if s.stale && s.staleErr != nil {
+		h.Status = StatusDegraded
+		h.Reasons = append(h.Reasons, fmt.Sprintf("aggregates stale: %v", s.staleErr))
+	}
+	return h
 }
 
 // Products returns the registered product IDs.
@@ -461,22 +561,34 @@ func (s *Service) RatingCount(product string) (int, error) {
 // refreshed if it was dirty. Readers therefore serve the newest table
 // computed no later than their own start — when the cache is clean they
 // proceed concurrently under RLock and never serialize on the write lock.
-func (s *Service) freshRLock() {
+//
+// On a non-nil error the read lock is NOT held: the caller's ctx was
+// cancelled, either while queued for the lock or mid-recompute. The
+// half-finished recompute's epoch checkpoints stay in engState and the
+// dirty range is preserved, so the cancelled work is resumed — not
+// redone — by the next reader.
+func (s *Service) freshRLock(ctx context.Context) error {
 	s.mu.RLock()
 	if !s.dirtyLocked() {
-		return
+		return nil
 	}
 	s.mu.RUnlock()
 	s.mu.Lock()
-	s.refreshLocked()
+	err := s.refreshLocked(ctx)
 	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	s.mu.RLock()
+	return nil
 }
 
 // Scores returns the product's per-period aggregated ratings under the
 // service's scheme, recomputing if ratings arrived since the last call.
-func (s *Service) Scores(product string) ([]float64, error) {
-	s.freshRLock()
+func (s *Service) Scores(ctx context.Context, product string) ([]float64, error) {
+	if err := s.freshRLock(ctx); err != nil {
+		return nil, err
+	}
 	defer s.mu.RUnlock()
 	if _, err := s.data.Product(product); err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
@@ -504,8 +616,10 @@ type Report struct {
 
 // Inspect returns the defense report for a product. Suspicious-mark data
 // is only available when the service runs the P-scheme.
-func (s *Service) Inspect(product string) (Report, error) {
-	s.freshRLock()
+func (s *Service) Inspect(ctx context.Context, product string) (Report, error) {
+	if err := s.freshRLock(ctx); err != nil {
+		return Report{}, err
+	}
 	defer s.mu.RUnlock()
 	p, err := s.data.Product(product)
 	if err != nil {
@@ -529,9 +643,13 @@ func (s *Service) Inspect(product string) (Report, error) {
 }
 
 // Trust returns the current trust in a rater (0.5 for unknown raters, and
-// always 0.5 when the scheme is not the P-scheme).
-func (s *Service) Trust(rater string) float64 {
-	s.freshRLock()
+// always 0.5 when the scheme is not the P-scheme). A cancelled ctx returns
+// the neutral prior rather than an error: trust is advisory and the caller
+// already chose not to wait.
+func (s *Service) Trust(ctx context.Context, rater string) float64 {
+	if err := s.freshRLock(ctx); err != nil {
+		return 0.5
+	}
 	defer s.mu.RUnlock()
 	if s.pResult == nil {
 		return 0.5
@@ -543,11 +661,19 @@ func (s *Service) Trust(rater string) float64 {
 // hold the write lock. A panicking scheme does not take the service down:
 // the previous table keeps being served, reports carry Stale, Ready
 // fails, and the next submission triggers another attempt.
-func (s *Service) refreshLocked() {
+//
+// A ctx cancellation mid-recompute returns the error without consuming
+// dirtiness and without marking the service stale: the engine checkpoints
+// completed so far stay in engState, dirtyFrom is preserved, and the next
+// caller with a live context resumes from where this one stopped.
+func (s *Service) refreshLocked(ctx context.Context) error {
 	if !s.dirtyLocked() {
-		return
+		return nil
 	}
-	table, pRes, err := s.evaluateLocked(s.dirtyFrom)
+	table, pRes, err := s.evaluateLocked(ctx, s.dirtyFrom)
+	if err != nil && ctx.Err() != nil {
+		return err
+	}
 	s.dirtyFrom = math.Inf(1)
 	if err != nil {
 		s.stale = true
@@ -557,12 +683,13 @@ func (s *Service) refreshLocked() {
 		// cost of one cold evaluation, only on the failure path).
 		s.engState = nil
 		s.logger.Printf("server: aggregate recompute failed, serving stale table: %v", err)
-		return
+		return nil
 	}
 	s.cached = table
 	s.pResult = pRes
 	s.stale = false
 	s.staleErr = nil
+	return nil
 }
 
 // evaluateLocked runs the scheme over the current dataset, converting a
@@ -571,7 +698,7 @@ func (s *Service) refreshLocked() {
 // reused from the previous evaluation's checkpoints, so steady-state
 // recompute cost is proportional to the invalidated epoch suffix plus one
 // final per-product pass, not the full history.
-func (s *Service) evaluateLocked(from float64) (table agg.Table, pRes *agg.Result, err error) {
+func (s *Service) evaluateLocked(ctx context.Context, from float64) (table agg.Table, pRes *agg.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			table, pRes = nil, nil
@@ -583,7 +710,10 @@ func (s *Service) evaluateLocked(from float64) (table agg.Table, pRes *agg.Resul
 			s.engState = engine.NewState()
 		}
 		s.engState.Invalidate(from)
-		res := p.Engine().Resume(s.engState, s.data)
+		res, rerr := p.Engine().Resume(ctx, s.engState, s.data)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
 		t := agg.Table(res.Table)
 		return t, &agg.Result{Table: t, Suspicious: res.Suspicious, Trust: res.Trust}, nil
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,25 +39,25 @@ func TestNewValidation(t *testing.T) {
 
 func TestSubmitValidation(t *testing.T) {
 	s := newService(t, agg.SAScheme{})
-	if err := s.Submit("tv1", "r1", 4, 10); err != nil {
+	if err := s.Submit(context.Background(), "tv1", "r1", 4, 10); err != nil {
 		t.Fatalf("valid rating rejected: %v", err)
 	}
-	if err := s.Submit("tv1", "r1", 3, 11); !errors.Is(err, ErrDuplicateRating) {
+	if err := s.Submit(context.Background(), "tv1", "r1", 3, 11); !errors.Is(err, ErrDuplicateRating) {
 		t.Errorf("duplicate = %v", err)
 	}
-	if err := s.Submit("tv9", "r2", 4, 10); !errors.Is(err, ErrUnknownProduct) {
+	if err := s.Submit(context.Background(), "tv9", "r2", 4, 10); !errors.Is(err, ErrUnknownProduct) {
 		t.Errorf("unknown product = %v", err)
 	}
-	if err := s.Submit("tv1", "r2", 9, 10); !errors.Is(err, ErrBadRating) {
+	if err := s.Submit(context.Background(), "tv1", "r2", 9, 10); !errors.Is(err, ErrBadRating) {
 		t.Errorf("bad value = %v", err)
 	}
-	if err := s.Submit("tv1", "r2", 4, -1); !errors.Is(err, ErrBadRating) {
+	if err := s.Submit(context.Background(), "tv1", "r2", 4, -1); !errors.Is(err, ErrBadRating) {
 		t.Errorf("bad day = %v", err)
 	}
-	if err := s.Submit("tv1", "r2", 4, 90); !errors.Is(err, ErrBadRating) {
+	if err := s.Submit(context.Background(), "tv1", "r2", 4, 90); !errors.Is(err, ErrBadRating) {
 		t.Errorf("day at horizon = %v", err)
 	}
-	if err := s.Submit("tv1", "", 4, 10); !errors.Is(err, ErrBadRating) {
+	if err := s.Submit(context.Background(), "tv1", "", 4, 10); !errors.Is(err, ErrBadRating) {
 		t.Errorf("empty rater = %v", err)
 	}
 }
@@ -64,11 +65,11 @@ func TestSubmitValidation(t *testing.T) {
 func TestScoresTrackSubmissions(t *testing.T) {
 	s := newService(t, agg.SAScheme{})
 	for i := 0; i < 10; i++ {
-		if err := s.Submit("tv1", fmt.Sprintf("r%d", i), 4, float64(i)); err != nil {
+		if err := s.Submit(context.Background(), "tv1", fmt.Sprintf("r%d", i), 4, float64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	scores, err := s.Scores("tv1")
+	scores, err := s.Scores(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,17 +83,17 @@ func TestScoresTrackSubmissions(t *testing.T) {
 		t.Errorf("empty periods = %v, want NaN", scores[1:])
 	}
 	// A new rating invalidates the cache.
-	if err := s.Submit("tv1", "late", 2, 40); err != nil {
+	if err := s.Submit(context.Background(), "tv1", "late", 2, 40); err != nil {
 		t.Fatal(err)
 	}
-	scores, err = s.Scores("tv1")
+	scores, err = s.Scores(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if scores[1] != 2 {
 		t.Errorf("period 1 after update = %v, want 2", scores[1])
 	}
-	if _, err := s.Scores("nope"); !errors.Is(err, ErrUnknownProduct) {
+	if _, err := s.Scores(context.Background(), "nope"); !errors.Is(err, ErrUnknownProduct) {
 		t.Errorf("unknown product = %v", err)
 	}
 }
@@ -103,7 +104,7 @@ func TestRatingCountAndProducts(t *testing.T) {
 	if len(ids) != 2 || ids[0] != "tv1" {
 		t.Errorf("Products = %v", ids)
 	}
-	if err := s.Submit("tv2", "a", 3, 5); err != nil {
+	if err := s.Submit(context.Background(), "tv2", "a", 3, 5); err != nil {
 		t.Fatal(err)
 	}
 	n, err := s.RatingCount("tv2")
@@ -124,14 +125,14 @@ func TestLoadSeedsHistory(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := newService(t, agg.SAScheme{})
-	if err := s.Load(d); err != nil {
+	if err := s.Load(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
 	n, err := s.RatingCount("tv1")
 	if err != nil || n == 0 {
 		t.Fatalf("RatingCount after Load = %d, %v", n, err)
 	}
-	scores, err := s.Scores("tv1")
+	scores, err := s.Scores(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestLoadSeedsHistory(t *testing.T) {
 	bad := d.Clone()
 	p, _ := bad.Product("tv1")
 	p.Ratings = append(p.Ratings, p.Ratings[0])
-	if err := s.Load(bad); !errors.Is(err, ErrDuplicateRating) {
+	if err := s.Load(context.Background(), bad); !errors.Is(err, ErrDuplicateRating) {
 		t.Errorf("Load(dup) = %v", err)
 	}
 }
@@ -156,17 +157,17 @@ func TestPSchemeInspection(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := newService(t, agg.NewPScheme())
-	if err := s.Load(d); err != nil {
+	if err := s.Load(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
 	// Attack tv1 live: 50 low ratings in 15 days.
 	for i := 0; i < 50; i++ {
 		day := 40 + float64(i)*0.3
-		if err := s.Submit("tv1", fmt.Sprintf("evil%02d", i), 0.5, day); err != nil {
+		if err := s.Submit(context.Background(), "tv1", fmt.Sprintf("evil%02d", i), 0.5, day); err != nil {
 			t.Fatal(err)
 		}
 	}
-	rep, err := s.Inspect("tv1")
+	rep, err := s.Inspect(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,30 +178,30 @@ func TestPSchemeInspection(t *testing.T) {
 		t.Errorf("suspicious = %d, want most of the 50 attack ratings", rep.Suspicious)
 	}
 	// Attackers lose trust; a rater with clean history keeps ≥ 0.5.
-	if tr := s.Trust("evil00"); tr >= 0.5 {
+	if tr := s.Trust(context.Background(), "evil00"); tr >= 0.5 {
 		t.Errorf("attacker trust = %v, want < 0.5", tr)
 	}
-	if tr := s.Trust("stranger"); tr != 0.5 {
+	if tr := s.Trust(context.Background(), "stranger"); tr != 0.5 {
 		t.Errorf("unknown rater trust = %v, want 0.5", tr)
 	}
-	if _, err := s.Inspect("nope"); !errors.Is(err, ErrUnknownProduct) {
+	if _, err := s.Inspect(context.Background(), "nope"); !errors.Is(err, ErrUnknownProduct) {
 		t.Errorf("unknown product = %v", err)
 	}
 }
 
 func TestInspectWithoutPScheme(t *testing.T) {
 	s := newService(t, agg.SAScheme{})
-	if err := s.Submit("tv1", "a", 4, 1); err != nil {
+	if err := s.Submit(context.Background(), "tv1", "a", 4, 1); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Inspect("tv1")
+	rep, err := s.Inspect(context.Background(), "tv1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.HasSuspicious || rep.Suspicious != 0 {
 		t.Errorf("SA report claims suspicious data: %+v", rep)
 	}
-	if got := s.Trust("a"); got != 0.5 {
+	if got := s.Trust(context.Background(), "a"); got != 0.5 {
 		t.Errorf("SA trust = %v, want 0.5", got)
 	}
 }
@@ -215,11 +216,11 @@ func TestConcurrentSubmitAndRead(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
 				rater := fmt.Sprintf("g%dr%d", g, i)
-				if err := s.Submit("tv1", rater, 4, float64(i)); err != nil {
+				if err := s.Submit(context.Background(), "tv1", rater, 4, float64(i)); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := s.Scores("tv1"); err != nil {
+				if _, err := s.Scores(context.Background(), "tv1"); err != nil {
 					errs <- err
 					return
 				}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -50,7 +51,7 @@ func TestConcurrentStress(t *testing.T) {
 			product := []string{"tv1", "tv2"}[g%2]
 			for i := 0; i < ratingsPerWriter; i++ {
 				rater := fmt.Sprintf("w%dr%d", g, i)
-				if err := svc.Submit(product, rater, float64(i%6), float64(i%90)); err != nil {
+				if err := svc.Submit(context.Background(), product, rater, float64(i%6), float64(i%90)); err != nil {
 					errs <- fmt.Errorf("writer %d: %w", g, err)
 					return
 				}
@@ -67,15 +68,15 @@ func TestConcurrentStress(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := svc.Scores("tv1"); err != nil {
+				if _, err := svc.Scores(context.Background(), "tv1"); err != nil {
 					errs <- fmt.Errorf("reader %d scores: %w", g, err)
 					return
 				}
-				if _, err := svc.Inspect("tv2"); err != nil {
+				if _, err := svc.Inspect(context.Background(), "tv2"); err != nil {
 					errs <- fmt.Errorf("reader %d inspect: %w", g, err)
 					return
 				}
-				svc.Trust(fmt.Sprintf("w0r%d", g))
+				svc.Trust(context.Background(), fmt.Sprintf("w0r%d", g))
 				if _, err := svc.RatingCount("tv1"); err != nil {
 					errs <- err
 					return
@@ -93,7 +94,7 @@ func TestConcurrentStress(t *testing.T) {
 	writeWG.Add(1)
 	go func() {
 		defer writeWG.Done()
-		if err := svc.Load(seedData); err != nil {
+		if err := svc.Load(context.Background(), seedData); err != nil {
 			errs <- fmt.Errorf("load: %w", err)
 		}
 	}()
@@ -136,17 +137,17 @@ func BenchmarkScoresParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < 300; i++ {
-		if err := svc.Submit("tv1", fmt.Sprintf("r%d", i), float64(i%6), float64(i%90)); err != nil {
+		if err := svc.Submit(context.Background(), "tv1", fmt.Sprintf("r%d", i), float64(i%6), float64(i%90)); err != nil {
 			b.Fatal(err)
 		}
 	}
-	if _, err := svc.Scores("tv1"); err != nil { // warm the cache
+	if _, err := svc.Scores(context.Background(), "tv1"); err != nil { // warm the cache
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := svc.Scores("tv1"); err != nil {
+			if _, err := svc.Scores(context.Background(), "tv1"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -167,7 +168,7 @@ func BenchmarkSubmitDurable(b *testing.B) {
 			defer svc.Close()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := svc.Submit("tv1", fmt.Sprintf("r%d", i), 4, float64(i%90)); err != nil {
+				if err := svc.Submit(context.Background(), "tv1", fmt.Sprintf("r%d", i), 4, float64(i%90)); err != nil {
 					b.Fatal(err)
 				}
 			}

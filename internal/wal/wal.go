@@ -56,8 +56,44 @@ type Options struct {
 	// this much time has passed since the last sync, bounding the
 	// durability window of a lightly loaded batch.
 	SyncInterval time.Duration
+	// StallThreshold, when positive, arms the fsync-latency circuit
+	// breaker: a successful fsync slower than this trips the breaker, and
+	// while it is open appends return AckPending without fsyncing — the log
+	// keeps every record (never silent loss) but durability is deferred to
+	// a background group commit. A probe goroutine re-syncs every
+	// ProbeInterval; once a probe completes under the threshold the breaker
+	// closes and appends ack durable again. 0 disables the breaker.
+	StallThreshold time.Duration
+	// ProbeInterval paces the breaker's background probe syncs. Defaults
+	// to 250ms when the breaker is armed.
+	ProbeInterval time.Duration
 	// Now substitutes the wall clock, for tests. Defaults to time.Now.
 	Now func() time.Time
+}
+
+// defaultProbeInterval paces breaker probes when ProbeInterval is unset.
+const defaultProbeInterval = 250 * time.Millisecond
+
+// Ack describes the durability of one acknowledged append.
+type Ack int
+
+const (
+	// AckDurable: the record is on stable storage per the configured
+	// group-commit policy (with SyncEvery=1, fsynced before the append
+	// returned; with a larger batch, within the policy's bounded window).
+	AckDurable Ack = iota
+	// AckPending: the fsync-latency breaker is open. The record is in the
+	// log file but its fsync is deferred to the background group commit; a
+	// power loss before the next successful sync may lose it. Callers must
+	// surface this weaker promise to their clients explicitly.
+	AckPending
+)
+
+func (a Ack) String() string {
+	if a == AckPending {
+		return "pending"
+	}
+	return "durable"
 }
 
 // Recovery reports what Open found on disk.
@@ -78,11 +114,19 @@ type WAL struct {
 	log      File
 	opts     Options
 	size     int64
-	pending  int // appends since last successful sync
+	pending  int   // appends since last successful sync
+	appends  int64 // monotonic append counter (breaker bookkeeping)
 	lastSync time.Time
 	buf      []byte // scratch encode buffer
 	failed   error  // sticky fsync/write failure
 	closed   bool
+
+	// Breaker state: degraded is set while the fsync-latency breaker is
+	// open; probing marks the background probe goroutine as running so at
+	// most one exists; closeCh wakes it on Close.
+	degraded bool
+	probing  bool
+	closeCh  chan struct{}
 }
 
 // Open recovers the WAL state in fsys and opens the log for appending.
@@ -110,7 +154,10 @@ func Open(fsys FS, opts Options) (*WAL, *Recovery, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: open log: %w", err)
 	}
-	w := &WAL{fs: fsys, log: f, opts: opts, size: goodBytes, lastSync: opts.Now()}
+	if opts.StallThreshold > 0 && opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = defaultProbeInterval
+	}
+	w := &WAL{fs: fsys, log: f, opts: opts, size: goodBytes, lastSync: opts.Now(), closeCh: make(chan struct{})}
 	return w, rec, nil
 }
 
@@ -165,21 +212,30 @@ func readLog(fsys FS, rec *Recovery) (int64, error) {
 }
 
 // Append writes one record to the log and fsyncs per the group-commit
-// policy. When it returns nil the record is in the log (durably so if the
-// policy synced); when it returns an error nothing observable changed for
-// the caller and, for write/sync failures, the WAL is poisoned — see Err.
+// policy, discarding the durability ack. See AppendAck.
 func (w *WAL) Append(r Record) error {
+	_, err := w.AppendAck(r)
+	return err
+}
+
+// AppendAck writes one record to the log and fsyncs per the group-commit
+// policy. When it returns nil the record is in the log: AckDurable means
+// durably so per the policy, AckPending means the fsync-latency breaker is
+// open and durability is deferred to the background group commit. When it
+// returns an error nothing observable changed for the caller and, for
+// write/sync failures, the WAL is poisoned — see Err.
+func (w *WAL) AppendAck(r Record) (Ack, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return ErrClosed
+		return AckDurable, ErrClosed
 	}
 	if w.failed != nil {
-		return w.failed
+		return AckDurable, w.failed
 	}
 	buf, err := appendRecord(w.buf[:0], r)
 	if err != nil {
-		return err // encoding error: caller bug, log not poisoned
+		return AckDurable, err // encoding error: caller bug, log not poisoned
 	}
 	w.buf = buf
 	n, err := w.log.Write(buf)
@@ -188,25 +244,118 @@ func (w *WAL) Append(r Record) error {
 		// on the next open truncates it. Nothing since the last sync is
 		// trustworthy, so poison the log.
 		w.failed = fmt.Errorf("wal: write (%d/%d bytes): %w", n, len(buf), err)
-		return w.failed
+		return AckDurable, w.failed
 	}
 	w.size += int64(n)
 	w.pending++
+	w.appends++
+	if w.degraded {
+		// Breaker open: never block the serving path on a stalled disk.
+		// The record is written; the probe goroutine group-commits it.
+		return AckPending, nil
+	}
 	if w.pending >= w.opts.SyncEvery ||
 		(w.opts.SyncInterval > 0 && w.opts.Now().Sub(w.lastSync) >= w.opts.SyncInterval) {
-		return w.syncLocked()
+		if err := w.syncLocked(); err != nil {
+			return AckDurable, err
+		}
 	}
-	return nil
+	// A sync that just tripped the breaker still completed: this record is
+	// durable; only later appends degrade to pending.
+	return AckDurable, nil
 }
 
+// syncLocked fsyncs the log, times the fsync against the breaker threshold,
+// and trips the breaker on a stall. The caller holds w.mu — concurrent
+// appends wait out the fsync, which is why the breaker exists: after one
+// observed stall, appends stop entering this path until a probe recovers.
 func (w *WAL) syncLocked() error {
+	start := w.opts.Now()
 	if err := w.log.Sync(); err != nil {
 		w.failed = fmt.Errorf("wal: fsync: %w", err)
 		return w.failed
 	}
 	w.pending = 0
 	w.lastSync = w.opts.Now()
+	if w.opts.StallThreshold > 0 {
+		if w.lastSync.Sub(start) >= w.opts.StallThreshold {
+			w.tripLocked()
+		} else {
+			w.degraded = false // a fast fsync heals the breaker
+		}
+	}
 	return nil
+}
+
+// tripLocked opens the fsync-latency breaker and ensures the probe
+// goroutine is running.
+func (w *WAL) tripLocked() {
+	w.degraded = true
+	if !w.probing {
+		w.probing = true
+		go w.probe()
+	}
+}
+
+// probe is the breaker's background group commit: every ProbeInterval it
+// fsyncs the log outside w.mu (appends keep flowing while the disk stalls),
+// marks everything written before the fsync as durable, and closes the
+// breaker once a probe completes under the stall threshold.
+func (w *WAL) probe() {
+	for {
+		select {
+		case <-w.closeCh:
+			return
+		case <-time.After(w.opts.ProbeInterval):
+		}
+		w.mu.Lock()
+		if w.closed || w.failed != nil || !w.degraded {
+			w.probing = false
+			w.mu.Unlock()
+			return
+		}
+		f := w.log
+		seqAtStart := w.appends
+		w.mu.Unlock()
+
+		start := w.opts.Now()
+		err := f.Sync()
+		dur := w.opts.Now().Sub(start)
+
+		w.mu.Lock()
+		if w.closed {
+			w.probing = false
+			w.mu.Unlock()
+			return
+		}
+		if err != nil {
+			w.failed = fmt.Errorf("wal: probe fsync: %w", err)
+			w.probing = false
+			w.mu.Unlock()
+			return
+		}
+		// Everything appended before the fsync started is durable now;
+		// records landed during the fsync stay pending for the next probe.
+		if remaining := int(w.appends - seqAtStart); remaining < w.pending {
+			w.pending = remaining
+		}
+		w.lastSync = w.opts.Now()
+		if dur < w.opts.StallThreshold {
+			w.degraded = false
+			w.probing = false
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Unlock()
+	}
+}
+
+// Degraded reports whether the fsync-latency breaker is open: appends are
+// being acknowledged AckPending and group-committed in the background.
+func (w *WAL) Degraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
 }
 
 // Sync forces an fsync of the log regardless of the batch policy.
@@ -301,6 +450,9 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.closeCh != nil {
+		close(w.closeCh) // wake the breaker probe so it exits promptly
+	}
 	var syncErr error
 	if w.failed == nil && w.pending > 0 {
 		if err := w.log.Sync(); err != nil {

@@ -355,3 +355,148 @@ func TestClosedWAL(t *testing.T) {
 		t.Errorf("second Close = %v, want nil", err)
 	}
 }
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// TestBreakerTripsOnStallAndRecovers drives the fsync-latency circuit
+// breaker end to end: a stalled disk trips it (acks flip to pending, the
+// serving path stops blocking), the background probe group-commits pending
+// records, and a recovered disk closes it (acks flip back to durable).
+// Nothing is ever lost: every record acked — durable or pending — is in the
+// log after an orderly Close.
+func TestBreakerTripsOnStallAndRecovers(t *testing.T) {
+	fs := faultfs.New()
+	w, _, err := wal.Open(fs, wal.Options{
+		SyncEvery:      1,
+		StallThreshold: 2 * time.Millisecond,
+		ProbeInterval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := w.AppendAck(rec(0))
+	if err != nil || ack != wal.AckDurable {
+		t.Fatalf("healthy append = %v, %v; want durable", ack, err)
+	}
+	if w.Degraded() {
+		t.Fatal("breaker open on a healthy disk")
+	}
+
+	// Stall the disk. The tripping append eats one stall but still acks
+	// durable (its fsync completed); the next one must be pending and fast.
+	fs.StallSyncs(10 * time.Millisecond)
+	ack, err = w.AppendAck(rec(1))
+	if err != nil || ack != wal.AckDurable {
+		t.Fatalf("tripping append = %v, %v; want durable (its fsync succeeded)", ack, err)
+	}
+	if !w.Degraded() {
+		t.Fatal("breaker did not trip on a stalled fsync")
+	}
+	start := time.Now()
+	ack, err = w.AppendAck(rec(2))
+	if err != nil || ack != wal.AckPending {
+		t.Fatalf("degraded append = %v, %v; want pending", ack, err)
+	}
+	if d := time.Since(start); d >= 10*time.Millisecond {
+		t.Errorf("degraded append blocked %v behind the stalled disk", d)
+	}
+
+	// Heal the disk: a probe closes the breaker without any new append.
+	fs.ClearFaults()
+	waitFor(t, 2*time.Second, "breaker to close", func() bool { return !w.Degraded() })
+	ack, err = w.AppendAck(rec(3))
+	if err != nil || ack != wal.AckDurable {
+		t.Fatalf("healed append = %v, %v; want durable", ack, err)
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rc, err := wal.Open(fs, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rc.Records) != 4 {
+		t.Fatalf("recovered %d records, want all 4 acked ones", len(rc.Records))
+	}
+	for i, r := range rc.Records {
+		if r != rec(i) {
+			t.Errorf("record %d = %+v", i, r)
+		}
+	}
+}
+
+// TestBreakerProbeGroupCommits: records acked pending while the breaker is
+// open become durable via the background probe even though the disk stays
+// slow — visible in the crash image (power-loss model) without any Close.
+func TestBreakerProbeGroupCommits(t *testing.T) {
+	fs := faultfs.New()
+	w, _, err := wal.Open(fs, wal.Options{
+		SyncEvery:      1,
+		StallThreshold: time.Millisecond,
+		ProbeInterval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	fs.StallSyncs(3 * time.Millisecond) // slow enough to keep the breaker open
+	if _, err := w.AppendAck(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Degraded() {
+		t.Fatal("breaker did not trip")
+	}
+	for i := 1; i < 5; i++ {
+		ack, err := w.AppendAck(rec(i))
+		if err != nil || ack != wal.AckPending {
+			t.Fatalf("append %d = %v, %v; want pending", i, ack, err)
+		}
+	}
+	// The probe group-commits in the background: eventually the crash image
+	// (synced bytes only) replays all five records.
+	waitFor(t, 2*time.Second, "probe to group-commit pending records", func() bool {
+		_, rc, err := wal.Open(fs.CrashImage(), wal.Options{})
+		return err == nil && len(rc.Records) == 5
+	})
+}
+
+// TestBreakerProbeFailurePoisons: an fsync error during a background probe
+// must poison the log exactly like a foreground fsync failure — the
+// operator sees it on the next append and via Err.
+func TestBreakerProbeFailurePoisons(t *testing.T) {
+	fs := faultfs.New()
+	w, _, err := wal.Open(fs, wal.Options{
+		SyncEvery:      1,
+		StallThreshold: time.Millisecond,
+		ProbeInterval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	fs.StallSyncs(3 * time.Millisecond)
+	if _, err := w.AppendAck(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Degraded() {
+		t.Fatal("breaker did not trip")
+	}
+	fs.FailSyncsAfter(0)
+	waitFor(t, 2*time.Second, "probe failure to poison the log", func() bool { return w.Err() != nil })
+	if err := w.Append(rec(1)); !errors.Is(err, faultfs.ErrInjected) {
+		t.Errorf("append after probe failure = %v, want the injected fsync error", err)
+	}
+}
