@@ -15,6 +15,12 @@
 // snapshot + log so rating history and rater trust survive crashes.
 // -sync-every trades durability for throughput via fsync group commit.
 //
+// State is partitioned into -shards product shards (default GOMAXPROCS),
+// each with its own lock stripe and WAL segment: submissions to different
+// products commit concurrently, and recovery replays all shards in
+// parallel. -shards 1 reproduces the legacy single-stream layout; opening
+// a legacy directory with -shards > 1 migrates it in place.
+//
 // With -seed-history the server starts pre-loaded with synthetic fair
 // rating history, which makes the defense meaningful from the first query.
 //
@@ -34,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -57,6 +64,7 @@ func main() {
 		syncEv   = flag.Int("sync-every", 1, "fsync the WAL every N accepted ratings (group commit)")
 		snapEv   = flag.Int("snapshot-every", 4096, "checkpoint the dataset and compact the WAL every N ratings (0 = never)")
 		workers  = flag.Int("workers", 0, "P-scheme per-product analysis workers per recompute (0 = GOMAXPROCS, 1 = serial)")
+		shards   = flag.Int("shards", 0, "product shards with independent locks and WAL segments (0 = GOMAXPROCS, 1 = legacy single-shard layout)")
 
 		maxInflight  = flag.Int("max-inflight", 256, "max concurrent requests before queueing (0 = unbounded)")
 		queueDepth   = flag.Int("queue-depth", 512, "max requests waiting for an inflight slot before shedding 503")
@@ -69,7 +77,7 @@ func main() {
 		addr: *addr, scheme: *scheme, products: *products, horizon: *horizon,
 		seedHist: *seedHist, seed: *seed,
 		walDir: *walDir, syncEvery: *syncEv, snapshotEvery: *snapEv,
-		workers:     *workers,
+		workers: *workers, shards: *shards,
 		maxInflight: *maxInflight, queueDepth: *queueDepth, rateLimit: *rateLimit,
 		breakerMS: *breakerMS, drainTimeout: *drainTimeout,
 	}); err != nil {
@@ -90,6 +98,7 @@ type config struct {
 	snapshotEvery int
 
 	workers int
+	shards  int
 
 	maxInflight  int
 	queueDepth   int
@@ -119,6 +128,10 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
+	shards := cfg.shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 
 	var (
 		svc       *server.Service
@@ -129,6 +142,7 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 		var rep *server.RecoveryReport
 		svc, rep, err = server.OpenWAL(scheme, cfg.horizon, ids, server.WALOptions{
 			Dir:            cfg.walDir,
+			Shards:         shards,
 			SyncEvery:      cfg.syncEvery,
 			SnapshotEvery:  cfg.snapshotEvery,
 			StallThreshold: time.Duration(cfg.breakerMS) * time.Millisecond,
@@ -137,14 +151,17 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 			return nil, nil, err
 		}
 		recovered = rep.SnapshotRatings + rep.ReplayedRatings
-		log.Printf("recovered %d ratings from %s (%d from snapshot, %d replayed, %d duplicate, %d skipped, %d torn bytes truncated)",
-			recovered, cfg.walDir, rep.SnapshotRatings, rep.ReplayedRatings,
+		log.Printf("recovered %d ratings from %s across %d shards (%d from snapshot, %d replayed, %d duplicate, %d skipped, %d torn bytes truncated)",
+			recovered, cfg.walDir, shards, rep.SnapshotRatings, rep.ReplayedRatings,
 			rep.DuplicateRecords, rep.SkippedRecords, rep.TruncatedBytes)
+		if rep.MigratedFromLegacy {
+			log.Printf("migrated legacy single-stream WAL at %s to the %d-shard layout", cfg.walDir, shards)
+		}
 		for _, reason := range rep.SkipReasons {
 			log.Printf("recovery skipped: %s", reason)
 		}
 	} else {
-		svc, err = server.New(scheme, cfg.horizon, ids)
+		svc, err = server.NewSharded(scheme, cfg.horizon, ids, shards)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -234,8 +251,8 @@ func run(cfg config) error {
 	if cfg.walDir != "" {
 		durability = fmt.Sprintf("WAL %s, sync-every %d, snapshot-every %d", cfg.walDir, cfg.syncEvery, cfg.snapshotEvery)
 	}
-	log.Printf("serving %s-scheme rating aggregation on %s (%d products, %.0f-day horizon, %s)",
-		scheme.Name(), cfg.addr, len(ids), cfg.horizon, durability)
+	log.Printf("serving %s-scheme rating aggregation on %s (%d products, %d shards, %.0f-day horizon, %s)",
+		scheme.Name(), cfg.addr, len(ids), svc.Shards(), cfg.horizon, durability)
 	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		svc.Close()
 		return err

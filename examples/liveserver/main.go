@@ -26,13 +26,19 @@ func main() {
 }
 
 func run() error {
-	// A live service guarding one product with the P-scheme.
-	svc, err := server.New(agg.NewPScheme(), 150, []string{"tv1"})
+	// A live service guarding three products with the P-scheme, spread over
+	// four storage shards — the production layout, where submissions to
+	// different products commit through independent lock stripes. Every call
+	// below is identical to the single-shard API; sharding is invisible to
+	// clients.
+	products := []string{"tv1", "tv2", "tv3"}
+	svc, err := server.NewSharded(agg.NewPScheme(), 150, products, 4)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("service up: %d products across %d shards\n", len(svc.Products()), svc.Shards())
 	cfg := dataset.DefaultFairConfig()
-	cfg.Products = 1
+	cfg.Products = len(products)
 	history, err := dataset.GenerateFair(stats.NewRNG(4), cfg)
 	if err != nil {
 		return err
@@ -68,7 +74,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	saSvc, err := server.New(agg.SAScheme{}, 150, []string{"tv1"})
+	saSvc, err := server.New(agg.SAScheme{}, 150, products)
 	if err != nil {
 		return err
 	}

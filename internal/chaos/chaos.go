@@ -49,6 +49,11 @@ type Options struct {
 	// Products and Horizon shape the service under test.
 	Products []string
 	Horizon  float64
+	// Shards is the product-shard count for the store under test (0 or 1 =
+	// legacy single-stream layout). With more shards the storm's submits
+	// commit through independent WAL segments, so the fault schedule's
+	// stalls and disk-full windows cut each stream at a different point.
+	Shards int
 	// Clients is the number of concurrent storm clients; each issues
 	// RequestsPerClient requests (≈80% submits, 20% reads).
 	Clients           int
@@ -166,6 +171,7 @@ func New(opts Options) (*Harness, error) {
 	fs := faultfs.New()
 	svc, _, err := server.OpenWAL(agg.NewPScheme(), opts.Horizon, opts.Products, server.WALOptions{
 		FS:             fs,
+		Shards:         opts.Shards,
 		SyncEvery:      1, // every durable ack is backed by its own fsync
 		StallThreshold: opts.StallThreshold,
 		ProbeInterval:  opts.ProbeInterval,
@@ -370,25 +376,52 @@ func Audit(rep *Report, image *faultfs.FS, opts Options, maxShedP99 time.Duratio
 
 func key(product, rater string) string { return product + "\x00" + rater }
 
-// survivingRatings reads the crash image directly through the wal package
-// (snapshot + log replay) and returns the set of product/rater pairs on
-// stable storage.
-func survivingRatings(image *faultfs.FS) (map[string]bool, error) {
-	w, rec, err := wal.Open(image.Clone(), wal.Options{})
+// shardStreams enumerates the independent WAL streams in a crash image:
+// a manifest names the sharded layout and each shard directory is one
+// stream; without a manifest the image is the legacy single stream.
+func shardStreams(image *faultfs.FS) ([]wal.FS, error) {
+	fsys := image.Clone()
+	m, err := wal.ReadManifest(fsys)
 	if err != nil {
 		return nil, err
 	}
-	defer w.Close()
-	out := make(map[string]bool)
-	if rec.Snapshot != nil {
-		for _, p := range rec.Snapshot.Products {
-			for _, r := range p.Ratings {
-				out[key(p.ID, r.Rater)] = true
-			}
+	if m == nil {
+		return []wal.FS{fsys}, nil
+	}
+	streams := make([]wal.FS, m.Shards)
+	for i := range streams {
+		if streams[i], err = wal.Sub(fsys, wal.ShardDir(i)); err != nil {
+			return nil, err
 		}
 	}
-	for _, r := range rec.Records {
-		out[key(r.Product, r.Rater)] = true
+	return streams, nil
+}
+
+// survivingRatings reads the crash image directly through the wal package
+// (snapshot + log replay, per shard stream) and returns the set of
+// product/rater pairs on stable storage.
+func survivingRatings(image *faultfs.FS) (map[string]bool, error) {
+	streams, err := shardStreams(image)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	for _, fsys := range streams {
+		w, rec, err := wal.Open(fsys, wal.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if rec.Snapshot != nil {
+			for _, p := range rec.Snapshot.Products {
+				for _, r := range p.Ratings {
+					out[key(p.ID, r.Rater)] = true
+				}
+			}
+		}
+		for _, r := range rec.Records {
+			out[key(r.Product, r.Rater)] = true
+		}
+		w.Close()
 	}
 	return out, nil
 }
@@ -397,7 +430,7 @@ func survivingRatings(image *faultfs.FS) (map[string]bool, error) {
 // P-scores bit-for-bit against a clean in-memory service replaying the
 // same surviving records.
 func auditConvergence(image *faultfs.FS, opts Options) []string {
-	recovered, _, err := server.OpenWAL(agg.NewPScheme(), opts.Horizon, opts.Products, server.WALOptions{FS: image.Clone()})
+	recovered, _, err := server.OpenWAL(agg.NewPScheme(), opts.Horizon, opts.Products, server.WALOptions{FS: image.Clone(), Shards: opts.Shards})
 	if err != nil {
 		return []string{fmt.Sprintf("recovery from crash image failed: %v", err)}
 	}
@@ -435,11 +468,10 @@ func auditConvergence(image *faultfs.FS, opts Options) []string {
 // replayReference builds an in-memory service holding exactly the ratings
 // that survived in the image, applied through the live validation path.
 func replayReference(image *faultfs.FS, opts Options) (int, *server.Service, error) {
-	w, rec, err := wal.Open(image.Clone(), wal.Options{})
+	streams, err := shardStreams(image)
 	if err != nil {
 		return 0, nil, fmt.Errorf("read crash image: %v", err)
 	}
-	defer w.Close()
 	svc, err := server.New(agg.NewPScheme(), opts.Horizon, opts.Products)
 	if err != nil {
 		return 0, nil, err
@@ -454,15 +486,23 @@ func replayReference(image *faultfs.FS, opts Options) (int, *server.Service, err
 			n++
 		}
 	}
-	if rec.Snapshot != nil {
-		for _, p := range rec.Snapshot.Products {
-			for _, r := range p.Ratings {
-				apply(p.ID, r.Rater, r.Value, r.Day)
+	for _, fsys := range streams {
+		w, rec, err := wal.Open(fsys, wal.Options{})
+		if err != nil {
+			svc.Close()
+			return 0, nil, fmt.Errorf("read crash image: %v", err)
+		}
+		if rec.Snapshot != nil {
+			for _, p := range rec.Snapshot.Products {
+				for _, r := range p.Ratings {
+					apply(p.ID, r.Rater, r.Value, r.Day)
+				}
 			}
 		}
-	}
-	for _, r := range rec.Records {
-		apply(r.Product, r.Rater, r.Value, r.Day)
+		for _, r := range rec.Records {
+			apply(r.Product, r.Rater, r.Value, r.Day)
+		}
+		w.Close()
 	}
 	return n, svc, nil
 }

@@ -17,9 +17,14 @@ import (
 // phase after it would be all failures.
 func soakOptions() Options {
 	return Options{
-		Seed:              42,
-		Products:          []string{"tv1", "tv2", "tv3"},
-		Horizon:           90,
+		Seed:     42,
+		Products: []string{"tv1", "tv2", "tv3"},
+		Horizon:  90,
+		// Three shards over three products: the storm commits through
+		// independent WAL segments and the audit walks the sharded layout.
+		// (TestChaosKillDuringDrain keeps the 1-shard legacy layout so both
+		// paths stay covered.)
+		Shards:            3,
 		Clients:           8,
 		RequestsPerClient: 120,
 		RequestTimeout:    2 * time.Second,

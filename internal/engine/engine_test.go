@@ -250,3 +250,45 @@ func TestEvaluateDegenerate(t *testing.T) {
 		t.Errorf("marks for empty product = %v", res.Suspicious["empty"])
 	}
 }
+
+// TestMatchesRebuiltDataset pins the content-based identity contract the
+// sharded store relies on: the coordinator rebuilds the combined dataset
+// from per-shard partitions on every consistent cut, so the engine must
+// recognize a rebuilt (content-identical, pointer-distinct) dataset and
+// keep resuming from its checkpoints instead of resetting to a cold start.
+func TestMatchesRebuiltDataset(t *testing.T) {
+	d := testDataset(t, 5, 4, 150)
+	eng := &Engine{Detect: detect.DefaultConfig()}
+	st := NewState()
+	res := mustResume(t, eng, st, d)
+	epochs := st.CompletedEpochs()
+	if epochs == 0 {
+		t.Fatal("no checkpoints after a full evaluation")
+	}
+
+	rebuilt := d.Clone()
+	if !st.Matches(rebuilt) {
+		t.Fatal("state does not match a rebuilt content-identical dataset")
+	}
+	res2 := mustResume(t, eng, st, rebuilt)
+	if got := st.CompletedEpochs(); got != epochs {
+		t.Fatalf("resume on rebuilt dataset kept %d epochs, want %d (state was reset)", got, epochs)
+	}
+	requireEqualResults(t, "rebuilt resume", res, res2)
+
+	// The identity is the content: a changed horizon or product order is a
+	// different dataset and must not match.
+	horizonChanged := d.Clone()
+	horizonChanged.HorizonDays += 30
+	if st.Matches(horizonChanged) {
+		t.Error("state matches a dataset with a different horizon")
+	}
+	reordered := d.Clone()
+	reordered.Products[0], reordered.Products[1] = reordered.Products[1], reordered.Products[0]
+	if st.Matches(reordered) {
+		t.Error("state matches a dataset with reordered products")
+	}
+	if NewState().Matches(d) {
+		t.Error("fresh state (no checkpoints) claims to match")
+	}
+}

@@ -52,6 +52,16 @@ func (st *EvalState) Invalidate(day float64) {
 	}
 }
 
+// Matches reports whether the state's checkpoints were computed for this
+// dataset identity (bit-identical horizon, same product list in the same
+// order). The identity is content-based, not pointer-based: a combined
+// dataset rebuilt from per-shard partitions on every coordinator cut
+// (internal/store) still matches, so Resume keeps reusing checkpoints
+// across rebuilds.
+func (st *EvalState) Matches(d *dataset.Dataset) bool {
+	return st.matches(d)
+}
+
 // matches reports whether the state's checkpoints were computed for this
 // dataset identity.
 func (st *EvalState) matches(d *dataset.Dataset) bool {

@@ -113,7 +113,7 @@ func TestWALErr(t *testing.T) {
 }
 
 func TestLockHeld(t *testing.T) {
-	runFixture(t, LockHeld, "lockheld/internal/server")
+	runFixture(t, LockHeld, "lockheld/internal/server", "lockheld/internal/store")
 }
 
 func TestNoWall(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 // worker pool.
 var ctxFirstPkgs = []string{
 	"internal/server",
+	"internal/store",
 	"internal/engine",
 }
 
@@ -27,8 +28,8 @@ var ctxWALWritePath = map[string]bool{
 }
 
 // CtxFirst enforces the deadline-propagation contract on the serving path
-// (DESIGN.md §11): exported functions in internal/server and
-// internal/engine that write the WAL, spawn goroutines, or call another
+// (DESIGN.md §11): exported functions in internal/server, internal/store,
+// and internal/engine that write the WAL, spawn goroutines, or call another
 // context-aware function must take a context.Context as their first
 // parameter. Work reached through unexported helpers counts — the check
 // propagates through the package's call graph — but work inside function
@@ -38,8 +39,8 @@ var ctxWALWritePath = map[string]bool{
 // other deliberate exceptions require `//lint:ignore ctxfirst <rationale>`.
 var CtxFirst = &Analyzer{
 	Name: "ctxfirst",
-	Doc: "flags exported functions in internal/server and internal/engine that " +
-		"do durable I/O or spawn workers without taking context.Context first",
+	Doc: "flags exported functions in internal/server, internal/store, and internal/engine " +
+		"that do durable I/O or spawn workers without taking context.Context first",
 	Run: runCtxFirst,
 }
 

@@ -1,0 +1,72 @@
+// Package storefix exercises lockheld inside an internal/store package
+// path: the guarded-field discipline applies as in internal/server, fields
+// that synchronize themselves (mutexes, sync/atomic values, references to
+// self-locking structs) are exempt, and the shard-mutex rule additionally
+// forbids WAL fsyncs and engine evaluations while mu is lexically held.
+package storefix
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+type shard struct {
+	gate sync.RWMutex
+	mu   sync.Mutex
+	data []float64
+	wal  *wal.WAL
+	eng  *engine.Engine
+	subs atomic.Int64
+	peer *shard
+}
+
+// Good is the canonical submit shape: reserve under mu, release it across
+// the fsync, reacquire to apply. The gate (a second mutex) and the wal (a
+// self-locking struct) are accessed freely — neither is guarded by mu.
+func (sh *shard) Good(v float64) error {
+	sh.gate.RLock()
+	defer sh.gate.RUnlock()
+	sh.mu.Lock()
+	w := sh.wal
+	sh.mu.Unlock()
+	if err := w.Append(wal.Record{Value: v}); err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	sh.data = append(sh.data, v)
+	sh.mu.Unlock()
+	return nil
+}
+
+func (sh *shard) BadFsync(v float64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.data = append(sh.data, v)
+	return sh.wal.Sync() // want "calls wal.Sync while holding sh.mu"
+}
+
+func (sh *shard) BadEval(ctx context.Context) error {
+	sh.mu.Lock()
+	_, err := sh.eng.Resume(ctx, nil, nil) // want "calls engine.Resume while holding sh.mu"
+	sh.mu.Unlock()
+	return err
+}
+
+// GoodCount touches only a self-synchronized atomic: no mu needed.
+func (sh *shard) GoodCount() int64 {
+	return sh.subs.Add(1)
+}
+
+// GoodPeer reads a reference to another self-locking shard: the pointer's
+// referent synchronizes itself, so the field is not guarded.
+func (sh *shard) GoodPeer() *shard {
+	return sh.peer
+}
+
+func (sh *shard) BadRead() float64 { // want "accesses guarded field sh.data"
+	return sh.data[0]
+}

@@ -1,0 +1,9 @@
+package server
+
+import "repro/internal/dataset"
+
+// dataView exposes a consistent combined-dataset snapshot of the store for
+// white-box tests that compare full rating state between services.
+func (s *Service) dataView() *dataset.Dataset {
+	return s.store.View()
+}

@@ -113,7 +113,7 @@ func TestCrashRecoveryEveryByte(t *testing.T) {
 			}
 			refK++
 		}
-		if !reflect.DeepEqual(svc.data, ref.data) {
+		if !reflect.DeepEqual(svc.dataView(), ref.dataView()) {
 			t.Fatalf("crash at byte %d: recovered dataset diverges from accepted prefix of %d", cut, wantK)
 		}
 		svc.Close()
@@ -166,7 +166,7 @@ func TestCrashRecoveryPropertyP(t *testing.T) {
 			}
 			refK++
 		}
-		if !reflect.DeepEqual(svc.data, ref.data) {
+		if !reflect.DeepEqual(svc.dataView(), ref.dataView()) {
 			t.Fatalf("crash at byte %d: recovered dataset diverges from accepted prefix of %d", cut, wantK)
 		}
 		atBoundary := cut == 0 || (wantK > 0 && boundaries[wantK-1] == cut)
@@ -363,7 +363,7 @@ func TestCrashBetweenSnapshotAndLogReset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Compact(svc.data); err != nil {
+	if err := w.Compact(svc.dataView()); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()

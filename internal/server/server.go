@@ -4,12 +4,23 @@
 // marks and rater trust are inspectable — the deployment shape a production
 // rating system (the paper's motivating setting) would use.
 //
+// Storage is the sharded layer in internal/store: rating state is
+// partitioned into product-keyed shards (each with its own mutex, dataset
+// partition, and WAL stream), so ingest scales with cores instead of
+// serializing on one lock and one fsync pipeline. This package is the
+// coordinator above it: it routes writes to the store, owns every
+// cross-product concern — the P-scheme recompute with its epoch-
+// checkpointed engine state, the trust fold, the cached table, and the
+// degradation state — and refreshes them from consistent multi-shard cuts
+// (store.BeginRecompute). With one shard (the default for New/Open) the
+// behavior and on-disk layout are exactly the pre-sharding service's.
+//
 // The service is optionally durable: constructed with Open it writes every
 // accepted rating to a write-ahead log (internal/wal) before mutating
 // in-memory state, periodically checkpoints the full dataset, and on boot
-// replays snapshot + log so rating history — and with it the P-scheme's
-// beta trust in every rater — survives crashes. An attacker cannot reset
-// their trust by crashing the service.
+// replays snapshot + log — in parallel across shards — so rating history,
+// and with it the P-scheme's beta trust in every rater, survives crashes.
+// An attacker cannot reset their trust by crashing the service.
 package server
 
 import (
@@ -18,56 +29,56 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agg"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/store"
 	"repro/internal/wal"
 )
 
-// Errors returned by the rating service.
+// Errors returned by the rating service. They alias the storage layer's
+// sentinels, so errors.Is works against either package.
 var (
 	// ErrUnknownProduct indicates a rating or query for an unregistered
 	// product.
-	ErrUnknownProduct = errors.New("server: unknown product")
+	ErrUnknownProduct = store.ErrUnknownProduct
 	// ErrBadRating indicates an out-of-range or non-finite value or day.
-	ErrBadRating = errors.New("server: bad rating")
+	ErrBadRating = store.ErrBadRating
 	// ErrDuplicateRating indicates a rater rating the same product twice
 	// (the one-rating-per-rater-per-object rule of Eq. 7).
-	ErrDuplicateRating = errors.New("server: duplicate rating")
+	ErrDuplicateRating = store.ErrDuplicateRating
 	// ErrUnavailable indicates the durable log rejected the write; the
 	// rating was NOT accepted and the client should retry after the
 	// operator restores storage (HTTP 503).
-	ErrUnavailable = errors.New("server: storage unavailable")
+	ErrUnavailable = store.ErrUnavailable
 )
 
+// RecoveryReport describes what a durable boot found on disk, merged
+// across shards in shard order.
+type RecoveryReport = store.RecoveryReport
+
 // Service is a thread-safe online rating system. The zero value is not
-// usable; construct with New (in-memory) or Open (durable).
+// usable; construct with New/NewSharded (in-memory) or Open/OpenWAL
+// (durable).
 type Service struct {
+	// mu guards the coordinator's cross-product state below. Rating state
+	// lives in the store, which synchronizes itself — Submit never takes
+	// this lock, so ingest proceeds while a recompute holds it.
 	mu     sync.RWMutex
-	data   *dataset.Dataset
 	scheme agg.Scheme
-	seen   map[string]map[string]bool // product → rater → rated?
-	// dirtyFrom is the earliest rating day accepted since the last
-	// successful recompute (+Inf = cache clean). It replaces a whole-table
-	// dirty bit: under the P-scheme only the trust epochs at or after
-	// epoch(dirtyFrom) are re-evaluated, the rest resume from engState's
-	// checkpoints.
-	dirtyFrom float64
-	cached    agg.Table
-	pResult   *agg.Result // set when scheme is the P-scheme
+	cached agg.Table
+	pResult *agg.Result // set when scheme is the P-scheme
 	// engState holds the P-scheme engine's per-epoch trust checkpoints
 	// across recomputes (nil for other schemes, or after a failed
-	// recompute — the next attempt then starts cold).
+	// recompute — the next attempt then starts cold). Each recompute hands
+	// it a fresh combined dataset built from the shard cut; the engine
+	// recognizes the identical product list + horizon and resumes from its
+	// checkpoints (engine.EvalState.Matches).
 	engState *engine.EvalState
-
-	// Durability (nil/zero for a purely in-memory service).
-	wal           *wal.WAL
-	snapshotEvery int
-	sinceSnapshot int
 
 	// Degradation: when a recompute panics, cached holds the last good
 	// table, stale is set, and staleErr records the cause until a later
@@ -75,49 +86,51 @@ type Service struct {
 	stale    bool
 	staleErr error
 
-	logger *log.Logger
-	now    func() time.Time
+	// store is the sharded storage layer (self-synchronized).
+	store *store.Store
+	// logger is atomic, not mu-guarded: the store logs through it while
+	// holding shard locks, and taking mu there would invert the
+	// coordinator-before-shard lock order.
+	logger atomic.Pointer[log.Logger]
 }
 
-// New creates an in-memory (non-durable) service for the given products,
-// aggregating with scheme over a horizon of horizonDays.
+// New creates an in-memory (non-durable) single-shard service for the
+// given products, aggregating with scheme over a horizon of horizonDays.
 func New(scheme agg.Scheme, horizonDays float64, products []string) (*Service, error) {
+	return NewSharded(scheme, horizonDays, products, 1)
+}
+
+// NewSharded is New with an explicit shard count: product state and lock
+// striping are split across shards (0 and 1 both mean one shard, the
+// original layout).
+func NewSharded(scheme agg.Scheme, horizonDays float64, products []string, shards int) (*Service, error) {
 	if scheme == nil {
 		return nil, errors.New("server: nil scheme")
 	}
-	if horizonDays <= 0 || math.IsInf(horizonDays, 0) || math.IsNaN(horizonDays) {
-		return nil, fmt.Errorf("server: horizon %v", horizonDays)
+	st, err := store.New(horizonDays, products, shards)
+	if err != nil {
+		return nil, err
 	}
-	if len(products) == 0 {
-		return nil, errors.New("server: no products")
-	}
-	d := &dataset.Dataset{HorizonDays: horizonDays}
-	seen := make(map[string]map[string]bool, len(products))
-	for _, id := range products {
-		if _, dup := seen[id]; dup {
-			return nil, fmt.Errorf("server: duplicate product %q", id)
-		}
-		d.Products = append(d.Products, dataset.Product{ID: id})
-		seen[id] = make(map[string]bool)
-	}
-	return &Service{
-		data:      d,
-		scheme:    scheme,
-		seen:      seen,
-		dirtyFrom: 0, // everything dirty: first read computes the table
-		logger:    log.New(io.Discard, "", 0),
-		now:       time.Now,
-	}, nil
+	s := &Service{scheme: scheme, store: st}
+	s.logger.Store(log.New(io.Discard, "", 0))
+	st.SetLogf(s.logf)
+	return s, nil
 }
 
 // WALOptions configures the durable variant of the service.
 type WALOptions struct {
-	// Dir is the WAL directory (ignored when FS is set).
+	// Dir is the WAL base directory (ignored when FS is set).
 	Dir string
 	// FS overrides the filesystem the WAL writes through — used by tests
 	// to inject faults (internal/faultfs). Defaults to wal.OSDir(Dir).
 	FS wal.FS
-	// SyncEvery and SyncInterval set the group-commit policy; see
+	// Shards is the storage shard count; 0 or 1 reproduces the original
+	// single-stream layout byte-for-byte (existing WAL directories stay
+	// readable), larger values shard state and WAL streams by product,
+	// migrating a legacy directory in place on first open. The count is
+	// recorded in the directory's manifest and a mismatched reopen fails.
+	Shards int
+	// SyncEvery and SyncInterval set each shard's group-commit policy; see
 	// wal.Options. Zero SyncEvery means fsync on every append.
 	SyncEvery    int
 	SyncInterval time.Duration
@@ -129,189 +142,81 @@ type WALOptions struct {
 	// means the wal package default.
 	StallThreshold time.Duration
 	ProbeInterval  time.Duration
-	// SnapshotEvery checkpoints the dataset and resets the log after this
-	// many accepted ratings, bounding recovery time. 0 disables automatic
-	// snapshots (the log grows until Close).
+	// SnapshotEvery checkpoints a shard and resets its log after this many
+	// ratings accepted on that shard, bounding recovery time. 0 disables
+	// automatic snapshots (the logs grow until Close).
 	SnapshotEvery int
 }
 
-// RecoveryReport describes what a durable boot found on disk.
-type RecoveryReport struct {
-	// SnapshotRatings and ReplayedRatings count ratings restored from the
-	// checkpoint and from the log tail, respectively.
-	SnapshotRatings int
-	ReplayedRatings int
-	// DuplicateRecords counts log records that exactly matched a rating
-	// already restored — the benign artifact of a crash between snapshot
-	// publication and log reset, deduplicated silently.
-	DuplicateRecords int
-	// SkippedRecords counts records that failed validation (unknown
-	// product, out-of-range value or day, conflicting duplicate) and were
-	// dropped; SkipReasons holds the first few, for logs.
-	SkippedRecords int
-	SkipReasons    []string
-	// TruncatedBytes counts torn log-tail bytes discarded by the WAL.
-	TruncatedBytes int64
-}
-
-// maxSkipReasons bounds the per-boot skip-reason sample in RecoveryReport.
-const maxSkipReasons = 16
-
-// Open creates a durable service backed by a write-ahead log in walDir
-// with strict durability defaults (fsync every append, snapshot every
-// 4096 ratings). It replays any existing snapshot + log before returning,
-// so the service resumes exactly where a crashed predecessor stopped.
+// Open creates a durable single-shard service backed by a write-ahead log
+// in walDir with strict durability defaults (fsync every append, snapshot
+// every 4096 ratings). It replays any existing snapshot + log before
+// returning, so the service resumes exactly where a crashed predecessor
+// stopped.
 //
 //lint:ignore ctxfirst boot-time recovery precedes serving; there is no request context to propagate and a partial replay must not be served
 func Open(scheme agg.Scheme, horizonDays float64, products []string, walDir string) (*Service, *RecoveryReport, error) {
 	return OpenWAL(scheme, horizonDays, products, WALOptions{Dir: walDir, SnapshotEvery: 4096})
 }
 
-// OpenWAL is Open with explicit durability options.
+// OpenWAL is Open with explicit durability options, including the shard
+// count. Recovery is parallel: every shard replays its own snapshot + log
+// concurrently and the per-shard reports are merged in shard order.
 //
 //lint:ignore ctxfirst boot-time recovery precedes serving; there is no request context to propagate and a partial replay must not be served
 func OpenWAL(scheme agg.Scheme, horizonDays float64, products []string, opts WALOptions) (*Service, *RecoveryReport, error) {
-	s, err := New(scheme, horizonDays, products)
-	if err != nil {
-		return nil, nil, err
+	if scheme == nil {
+		return nil, nil, errors.New("server: nil scheme")
 	}
-	fsys := opts.FS
-	if fsys == nil {
-		if opts.Dir == "" {
-			return nil, nil, errors.New("server: WAL dir required")
-		}
-		fsys, err = wal.OSDir(opts.Dir)
-		if err != nil {
-			return nil, nil, fmt.Errorf("server: open WAL dir: %w", err)
-		}
+	if opts.FS == nil && opts.Dir == "" {
+		return nil, nil, errors.New("server: WAL dir required")
 	}
-	w, rec, err := wal.Open(fsys, wal.Options{
+	s := &Service{scheme: scheme}
+	s.logger.Store(log.New(io.Discard, "", 0))
+	st, report, err := store.Open(horizonDays, products, store.Options{
+		Dir:            opts.Dir,
+		FS:             opts.FS,
+		Shards:         opts.Shards,
 		SyncEvery:      opts.SyncEvery,
 		SyncInterval:   opts.SyncInterval,
 		StallThreshold: opts.StallThreshold,
 		ProbeInterval:  opts.ProbeInterval,
+		SnapshotEvery:  opts.SnapshotEvery,
+		Logf:           s.logf,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	report := &RecoveryReport{TruncatedBytes: rec.TruncatedBytes}
-	if rec.Snapshot != nil {
-		for _, p := range rec.Snapshot.Products {
-			for _, r := range p.Ratings {
-				s.recoverRating(p.ID, r.Rater, r.Value, r.Day, &report.SnapshotRatings, report)
-			}
-		}
-	}
-	for _, r := range rec.Records {
-		s.recoverRating(r.Product, r.Rater, r.Value, r.Day, &report.ReplayedRatings, report)
-	}
-	s.wal = w
-	s.snapshotEvery = opts.SnapshotEvery
-	s.sinceSnapshot = len(rec.Records)
+	s.store = st
 	return s, report, nil
-}
-
-// recoverRating applies one recovered rating through the same validation
-// as Submit, folding the outcome into the recovery report. An exact
-// duplicate (same product, rater, value, day) is the expected residue of
-// a crash mid-Compact and is dropped silently; anything else invalid is
-// counted and sampled as a skip.
-func (s *Service) recoverRating(product, rater string, value, day float64, applied *int, report *RecoveryReport) {
-	err := s.applyLocked(product, rater, value, day)
-	switch {
-	case err == nil:
-		*applied++
-	case errors.Is(err, ErrDuplicateRating) && s.hasExactRating(product, rater, value, day):
-		report.DuplicateRecords++
-	default:
-		report.SkippedRecords++
-		if len(report.SkipReasons) < maxSkipReasons {
-			report.SkipReasons = append(report.SkipReasons,
-				fmt.Sprintf("%s/%s value=%v day=%v: %v", product, rater, value, day, err))
-		}
-	}
-}
-
-// hasExactRating reports whether rater's recorded rating on product has
-// exactly this value and day.
-//
-//lint:ignore lockheld only called from recoverRating during OpenWAL, before the Service is returned to any other goroutine
-func (s *Service) hasExactRating(product, rater string, value, day float64) bool {
-	p, err := s.data.Product(product)
-	if err != nil {
-		return false
-	}
-	for _, r := range p.Ratings {
-		if r.Rater == rater {
-			//lint:ignore floateq WAL replay dedup is bit-exact by design: a re-replayed record carries the identical float bits, anything else is a conflicting duplicate
-			return r.Value == value && r.Day == day
-		}
-	}
-	return false
 }
 
 // SetLogger directs the service's operational log (request middleware,
 // degraded-mode recomputes, snapshot failures). The default discards.
 func (s *Service) SetLogger(l *log.Logger) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if l == nil {
 		l = log.New(io.Discard, "", 0)
 	}
-	s.logger = l
+	s.logger.Store(l)
 }
 
 func (s *Service) logf(format string, args ...any) {
-	s.mu.RLock()
-	l := s.logger
-	s.mu.RUnlock()
-	l.Printf(format, args...)
+	s.logger.Load().Printf(format, args...)
 }
 
 // Load seeds the service with an existing dataset (e.g. history read from
 // disk), replacing all current ratings. On a durable service the loaded
-// dataset is immediately checkpointed so it survives a crash.
+// dataset is immediately checkpointed — shard by shard — so it survives a
+// crash.
 func (s *Service) Load(ctx context.Context, d *dataset.Dataset) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := ctx.Err(); err != nil {
+	if err := s.store.Load(ctx, d); err != nil {
 		return err
 	}
-	seen := make(map[string]map[string]bool, len(d.Products))
-	for _, p := range d.Products {
-		m := make(map[string]bool, len(p.Ratings))
-		for _, r := range p.Ratings {
-			if m[r.Rater] {
-				return fmt.Errorf("%w: rater %q on %q", ErrDuplicateRating, r.Rater, p.ID)
-			}
-			m[r.Rater] = true
-		}
-		seen[p.ID] = m
-	}
-	clone := d.Clone()
-	if s.wal != nil {
-		if err := s.wal.Compact(clone); err != nil {
-			return fmt.Errorf("%w: checkpoint loaded dataset: %v", ErrUnavailable, err)
-		}
-		s.sinceSnapshot = 0
-	}
-	s.data = clone
-	s.seen = seen
-	s.markDirtyLocked(0) // a wholesale replacement invalidates everything
-	s.engState = nil     // drop checkpoints computed for the old history
+	s.engState = nil // drop checkpoints computed for the old history
 	return nil
 }
-
-// markDirtyLocked records that a rating on the given day arrived: every
-// epoch from epoch(day) on must be re-evaluated before the next read.
-func (s *Service) markDirtyLocked(day float64) {
-	if day < s.dirtyFrom {
-		s.dirtyFrom = day
-	}
-}
-
-// dirtyLocked reports whether the cached table is out of date.
-func (s *Service) dirtyLocked() bool { return !math.IsInf(s.dirtyFrom, 1) }
 
 // Submit records one rating, durably if the service has a WAL. It is
 // SubmitAck with the durability level discarded — callers that surface ack
@@ -322,162 +227,47 @@ func (s *Service) Submit(ctx context.Context, product, rater string, value, day 
 }
 
 // SubmitAck records one rating, durably if the service has a WAL: the
-// rating is appended (and fsynced per the group-commit policy) before any
-// in-memory state changes, so an acknowledgement implies the rating will
-// survive a crash and a storage failure surfaces as ErrUnavailable rather
-// than a silent ack. The returned Ack qualifies the durability promise:
-// AckDurable means the record is covered by a completed fsync (or by the
-// group-commit policy's bounded window); AckPending means the WAL's fsync
-// circuit breaker is open — the record is written and will be group-
-// committed by the breaker's probe, but a power loss before then may drop
-// it. A cancelled ctx sheds the request before any WAL write. The
-// ground-truth Unfair flag of incoming ratings is ignored — a live system
-// has no oracle.
+// rating is appended to its product's shard WAL (and fsynced per that
+// shard's group-commit policy) before any in-memory state changes, so an
+// acknowledgement implies the rating will survive a crash and a storage
+// failure surfaces as ErrUnavailable rather than a silent ack. The
+// returned Ack qualifies the durability promise: AckDurable means the
+// record is covered by a completed fsync (or by the group-commit policy's
+// bounded window); AckPending means the shard's fsync circuit breaker is
+// open — the record is written and will be group-committed by the
+// breaker's probe, but a power loss before then may drop it. A cancelled
+// ctx sheds the request before any WAL write. Submissions to different
+// shards never contend: the coordinator lock is not taken here, so ingest
+// continues while a recompute runs. The ground-truth Unfair flag of
+// incoming ratings is ignored — a live system has no oracle.
 func (s *Service) SubmitAck(ctx context.Context, product, rater string, value, day float64) (wal.Ack, error) {
-	// NaN fails every ordered comparison, so explicit finiteness checks
-	// must come first: without them a NaN value or day sails past the
-	// range guards and poisons every downstream aggregate.
-	if math.IsNaN(value) || math.IsInf(value, 0) {
-		return wal.AckDurable, fmt.Errorf("%w: non-finite value %v", ErrBadRating, value)
-	}
-	if math.IsNaN(day) || math.IsInf(day, 0) {
-		return wal.AckDurable, fmt.Errorf("%w: non-finite day %v", ErrBadRating, day)
-	}
-	if value < dataset.MinValue || value > dataset.MaxValue {
-		return wal.AckDurable, fmt.Errorf("%w: value %v", ErrBadRating, value)
-	}
-	if rater == "" {
-		return wal.AckDurable, fmt.Errorf("%w: empty rater", ErrBadRating)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// A request whose deadline expired while queued on the lock is shed
-	// before it costs an fsync; nothing has been written for it yet.
-	if err := ctx.Err(); err != nil {
-		return wal.AckDurable, err
-	}
-	if err := s.checkLocked(product, rater, day); err != nil {
-		return wal.AckDurable, err
-	}
-	ack := wal.AckDurable
-	if s.wal != nil {
-		rec := wal.Record{
-			Product: product, Rater: rater, Value: value, Day: day,
-			ReceivedUnixNano: s.now().UnixNano(),
-		}
-		var err error
-		ack, err = s.wal.AppendAck(rec)
-		if err != nil {
-			return ack, fmt.Errorf("%w: %v", ErrUnavailable, err)
-		}
-	}
-	if err := s.applyLocked(product, rater, value, day); err != nil {
-		return ack, err // unreachable after checkLocked; kept for safety
-	}
-	s.maybeSnapshotLocked()
-	return ack, nil
+	return s.store.Submit(ctx, product, rater, value, day)
 }
 
-// checkLocked runs the stateful Submit validations (day range, product
-// existence, duplicate rater) without mutating anything.
-func (s *Service) checkLocked(product, rater string, day float64) error {
-	if day < 0 || day >= s.data.HorizonDays {
-		return fmt.Errorf("%w: day %v outside [0,%v)", ErrBadRating, day, s.data.HorizonDays)
-	}
-	if _, err := s.data.Product(product); err != nil {
-		return fmt.Errorf("%w: %q", ErrUnknownProduct, product)
-	}
-	if s.seen[product][rater] {
-		return fmt.Errorf("%w: rater %q on %q", ErrDuplicateRating, rater, product)
-	}
-	return nil
-}
-
-// applyLocked validates and applies one rating to in-memory state. It is
-// the single mutation path shared by live submission and WAL replay, so
-// recovered state is governed by exactly the live rules.
-func (s *Service) applyLocked(product, rater string, value, day float64) error {
-	if math.IsNaN(value) || math.IsInf(value, 0) || value < dataset.MinValue || value > dataset.MaxValue {
-		return fmt.Errorf("%w: value %v", ErrBadRating, value)
-	}
-	if rater == "" {
-		return fmt.Errorf("%w: empty rater", ErrBadRating)
-	}
-	if math.IsNaN(day) || math.IsInf(day, 0) {
-		return fmt.Errorf("%w: non-finite day %v", ErrBadRating, day)
-	}
-	if err := s.checkLocked(product, rater, day); err != nil {
-		return err
-	}
-	p, _ := s.data.Product(product)
-	raters, ok := s.seen[product]
-	if !ok {
-		raters = make(map[string]bool)
-		s.seen[product] = raters
-	}
-	raters[rater] = true
-	p.Ratings = p.Ratings.Merge(dataset.Series{{Day: day, Value: value, Rater: rater}})
-	s.markDirtyLocked(day)
-	return nil
-}
-
-// maybeSnapshotLocked checkpoints and compacts the WAL once SnapshotEvery
-// ratings have accumulated since the last checkpoint. A checkpoint
-// failure is logged, not returned: the triggering rating is already
-// durable in the log, the snapshot only bounds recovery time.
-func (s *Service) maybeSnapshotLocked() {
-	s.sinceSnapshot++
-	if s.wal == nil || s.snapshotEvery <= 0 || s.sinceSnapshot < s.snapshotEvery {
-		return
-	}
-	s.sinceSnapshot = 0
-	if err := s.wal.Compact(s.data); err != nil {
-		s.logger.Printf("server: snapshot failed (will retry in %d ratings): %v", s.snapshotEvery, err)
-	}
-}
-
-// Checkpoint forces a snapshot + log compaction now. It is a no-op on a
-// non-durable service. A ctx already cancelled when the lock is acquired
-// skips the compaction (the log keeps growing until the next trigger).
+// Checkpoint forces a snapshot + log compaction of every shard now. It is
+// a no-op on a non-durable service. A ctx already cancelled when the
+// store is reached skips the compaction (the logs keep growing until the
+// next trigger).
 func (s *Service) Checkpoint(ctx context.Context) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
-		return nil
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if err := s.wal.Compact(s.data); err != nil {
-		return fmt.Errorf("%w: %v", ErrUnavailable, err)
-	}
-	s.sinceSnapshot = 0
-	return nil
+	return s.store.Checkpoint(ctx)
 }
 
-// Close flushes and closes the WAL (if any). The service rejects further
-// durable submissions afterwards.
+// Close flushes and closes every shard WAL (if any). The service rejects
+// further durable submissions afterwards.
 func (s *Service) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
-		return nil
-	}
-	return s.wal.Close()
+	return s.store.Close()
 }
 
-// Ready reports whether the service is fully healthy: the WAL (if
-// configured) has no sticky storage failure and the last aggregate
+// Ready reports whether the service is fully healthy: no shard WAL (if
+// configured) has a sticky storage failure and the last aggregate
 // recompute did not fail. Any departure from full health — including
 // degraded-but-serving states — is an error here; the /readyz probe uses
 // the finer-grained Health instead.
 func (s *Service) Ready() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.wal != nil {
-		if err := s.wal.Err(); err != nil {
-			return fmt.Errorf("%w: %v", ErrUnavailable, err)
-		}
+	if err := s.store.WALErr(); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	if s.stale && s.staleErr != nil {
 		return fmt.Errorf("server: aggregates stale: %v", s.staleErr)
@@ -498,10 +288,10 @@ const (
 type Health struct {
 	// Status is StatusReady, StatusDegraded, or StatusNotReady.
 	Status string `json:"status"`
-	// Durability is the current Submit ack mode: "durable" under a healthy
-	// WAL, "pending" while the fsync circuit breaker is open (writes are
-	// logged and group-committed by the breaker's probe, but a power loss
-	// may drop the tail), or "none" for an in-memory service.
+	// Durability is the current Submit ack mode: "durable" under healthy
+	// WALs, "pending" while any shard's fsync circuit breaker is open
+	// (writes are logged and group-committed by the breaker's probe, but a
+	// power loss may drop the tail), or "none" for an in-memory service.
 	Durability string `json:"durability"`
 	// Reasons lists why the service is not fully ready (empty when ready).
 	Reasons []string `json:"reasons,omitempty"`
@@ -509,24 +299,24 @@ type Health struct {
 
 // Health classifies the service state for the /readyz probe:
 //
-//	not-ready — the WAL has a sticky failure; durable submissions are
-//	            being rejected. Serve 503, pull from rotation.
+//	not-ready — a shard WAL has a sticky failure; durable submissions on
+//	            it are being rejected. Serve 503, pull from rotation.
 //	degraded  — serving, but below full fidelity: the last recompute
-//	            failed (aggregates stale) or the fsync breaker is open
+//	            failed (aggregates stale) or an fsync breaker is open
 //	            (acks pending). Serve 200 with the reasons as a warning.
 //	ready     — full fidelity.
 func (s *Service) Health() Health {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	h := Health{Status: StatusReady, Durability: "none"}
-	if s.wal != nil {
+	if s.store.Durable() {
 		h.Durability = "durable"
-		if err := s.wal.Err(); err != nil {
+		if err := s.store.WALErr(); err != nil {
 			h.Status = StatusNotReady
 			h.Reasons = append(h.Reasons, fmt.Sprintf("wal failed: %v", err))
 			return h
 		}
-		if s.wal.Degraded() {
+		if s.store.WALDegraded() {
 			h.Status = StatusDegraded
 			h.Durability = wal.AckPending.String()
 			h.Reasons = append(h.Reasons, "fsync breaker open: submissions acknowledged durability=pending")
@@ -541,20 +331,17 @@ func (s *Service) Health() Health {
 
 // Products returns the registered product IDs.
 func (s *Service) Products() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.data.ProductIDs()
+	return s.store.Products()
 }
 
 // RatingCount returns the number of ratings recorded for the product.
 func (s *Service) RatingCount(product string) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, err := s.data.Product(product)
-	if err != nil {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
-	}
-	return len(p.Ratings), nil
+	return s.store.RatingCount(product)
+}
+
+// Shards returns the storage shard count.
+func (s *Service) Shards() int {
+	return s.store.Shards()
 }
 
 // freshRLock returns holding the read lock with the aggregate cache
@@ -565,11 +352,11 @@ func (s *Service) RatingCount(product string) (int, error) {
 // On a non-nil error the read lock is NOT held: the caller's ctx was
 // cancelled, either while queued for the lock or mid-recompute. The
 // half-finished recompute's epoch checkpoints stay in engState and the
-// dirty range is preserved, so the cancelled work is resumed — not
-// redone — by the next reader.
+// shards' dirty watermarks are restored, so the cancelled work is resumed
+// — not redone — by the next reader.
 func (s *Service) freshRLock(ctx context.Context) error {
 	s.mu.RLock()
-	if !s.dirtyLocked() {
+	if !s.store.Dirty() {
 		return nil
 	}
 	s.mu.RUnlock()
@@ -590,7 +377,7 @@ func (s *Service) Scores(ctx context.Context, product string) ([]float64, error)
 		return nil, err
 	}
 	defer s.mu.RUnlock()
-	if _, err := s.data.Product(product); err != nil {
+	if !s.store.Has(product) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
 	}
 	scores := s.cached[product]
@@ -615,19 +402,20 @@ type Report struct {
 }
 
 // Inspect returns the defense report for a product. Suspicious-mark data
-// is only available when the service runs the P-scheme.
+// is only available when the service runs the P-scheme. The rating count
+// is live (straight from the product's shard) even when Scores is stale.
 func (s *Service) Inspect(ctx context.Context, product string) (Report, error) {
 	if err := s.freshRLock(ctx); err != nil {
 		return Report{}, err
 	}
 	defer s.mu.RUnlock()
-	p, err := s.data.Product(product)
+	n, err := s.store.RatingCount(product)
 	if err != nil {
-		return Report{}, fmt.Errorf("%w: %q", ErrUnknownProduct, product)
+		return Report{}, err
 	}
 	rep := Report{
 		Product: product,
-		Ratings: len(p.Ratings),
+		Ratings: n,
 		Scores:  append([]float64(nil), s.cached[product]...),
 		Stale:   s.stale,
 	}
@@ -644,10 +432,14 @@ func (s *Service) Inspect(ctx context.Context, product string) (Report, error) {
 
 // Trust returns the current trust in a rater (0.5 for unknown raters, and
 // always 0.5 when the scheme is not the P-scheme). A cancelled ctx returns
-// the neutral prior rather than an error: trust is advisory and the caller
-// already chose not to wait.
+// the neutral prior rather than an error — trust is advisory and the
+// caller already chose not to wait — but the skipped refresh is logged
+// like Scores/Inspect surface theirs, never swallowed. A recompute that
+// fails outright (scheme panic) serves the prior trust from the last good
+// evaluation, mirroring the stale-table degradation of Scores.
 func (s *Service) Trust(ctx context.Context, rater string) float64 {
 	if err := s.freshRLock(ctx); err != nil {
+		s.logf("server: trust(%q): stale-cache refresh abandoned, serving neutral prior: %v", rater, err)
 		return 0.5
 	}
 	defer s.mu.RUnlock()
@@ -658,23 +450,28 @@ func (s *Service) Trust(ctx context.Context, rater string) float64 {
 }
 
 // refreshLocked recomputes aggregates if ratings arrived. Callers must
-// hold the write lock. A panicking scheme does not take the service down:
-// the previous table keeps being served, reports carry Stale, Ready
-// fails, and the next submission triggers another attempt.
+// hold the write lock. It takes a consistent cut over every shard
+// (store.BeginRecompute) — the cut consumes the shards' dirty watermarks,
+// so a successful recompute covers exactly the dirtiness it observed. A
+// panicking scheme does not take the service down: the previous table
+// keeps being served, reports carry Stale, Ready fails, and the next
+// submission triggers another attempt.
 //
 // A ctx cancellation mid-recompute returns the error without consuming
 // dirtiness and without marking the service stale: the engine checkpoints
-// completed so far stay in engState, dirtyFrom is preserved, and the next
-// caller with a live context resumes from where this one stopped.
+// completed so far stay in engState, the shards' watermarks are restored
+// (store.AbortRecompute), and the next caller with a live context resumes
+// from where this one stopped.
 func (s *Service) refreshLocked(ctx context.Context) error {
-	if !s.dirtyLocked() {
+	v := s.store.BeginRecompute()
+	if !v.Dirty() {
 		return nil
 	}
-	table, pRes, err := s.evaluateLocked(ctx, s.dirtyFrom)
+	table, pRes, err := s.evaluateLocked(ctx, v)
 	if err != nil && ctx.Err() != nil {
+		s.store.AbortRecompute(v)
 		return err
 	}
-	s.dirtyFrom = math.Inf(1)
 	if err != nil {
 		s.stale = true
 		s.staleErr = err
@@ -682,7 +479,7 @@ func (s *Service) refreshLocked(ctx context.Context) error {
 		// resume; drop it so the retry starts from a clean slate (the
 		// cost of one cold evaluation, only on the failure path).
 		s.engState = nil
-		s.logger.Printf("server: aggregate recompute failed, serving stale table: %v", err)
+		s.logf("server: aggregate recompute failed, serving stale table: %v", err)
 		return nil
 	}
 	s.cached = table
@@ -692,13 +489,16 @@ func (s *Service) refreshLocked(ctx context.Context) error {
 	return nil
 }
 
-// evaluateLocked runs the scheme over the current dataset, converting a
-// panic into an error. Callers must hold the write lock. Under the P-scheme
-// it resumes the epoch-checkpointed engine: epochs before epoch(from) are
-// reused from the previous evaluation's checkpoints, so steady-state
-// recompute cost is proportional to the invalidated epoch suffix plus one
-// final per-product pass, not the full history.
-func (s *Service) evaluateLocked(ctx context.Context, from float64) (table agg.Table, pRes *agg.Result, err error) {
+// evaluateLocked runs the scheme over the cut's combined dataset,
+// converting a panic into an error. Callers must hold the write lock.
+// Under the P-scheme it resumes the epoch-checkpointed engine: the cut's
+// dataset is rebuilt from shard partitions each time, but it carries the
+// same product list and horizon, so engine.EvalState.Matches recognizes it
+// and epochs before epoch(v.DirtyFrom) are reused from the previous
+// evaluation's checkpoints — steady-state recompute cost is proportional
+// to the invalidated epoch suffix plus one final per-product pass, not the
+// full history.
+func (s *Service) evaluateLocked(ctx context.Context, v *store.RecomputeView) (table agg.Table, pRes *agg.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			table, pRes = nil, nil
@@ -709,13 +509,13 @@ func (s *Service) evaluateLocked(ctx context.Context, from float64) (table agg.T
 		if s.engState == nil {
 			s.engState = engine.NewState()
 		}
-		s.engState.Invalidate(from)
-		res, rerr := p.Engine().Resume(ctx, s.engState, s.data)
+		s.engState.Invalidate(v.DirtyFrom)
+		res, rerr := p.Engine().Resume(ctx, s.engState, v.Data)
 		if rerr != nil {
 			return nil, nil, rerr
 		}
 		t := agg.Table(res.Table)
 		return t, &agg.Result{Table: t, Suspicious: res.Suspicious, Trust: res.Trust}, nil
 	}
-	return s.scheme.Aggregates(s.data), nil, nil
+	return s.scheme.Aggregates(v.Data), nil, nil
 }

@@ -108,9 +108,7 @@ func TestConcurrentStress(t *testing.T) {
 	}
 	// Invariants: every product series is duplicate-free and every
 	// value/day in range, regardless of interleaving.
-	svc.mu.RLock()
-	defer svc.mu.RUnlock()
-	for _, p := range svc.data.Products {
+	for _, p := range svc.dataView().Products {
 		seen := make(map[string]bool, len(p.Ratings))
 		for _, r := range p.Ratings {
 			if seen[r.Rater] {

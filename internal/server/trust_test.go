@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// panicScheme stands in for an aggregation scheme whose recompute blows up,
+// so tests can exercise the serve-stale path deterministically.
+type panicScheme struct{}
+
+func (panicScheme) Name() string { return "panic" }
+
+func (panicScheme) Aggregates(*dataset.Dataset) agg.Table { panic("boom") }
+
+// primeAttackedPScheme builds a P-scheme service with a fair history plus a
+// live attack on tv1, so raters have non-neutral trust to serve.
+func primeAttackedPScheme(t *testing.T) *Service {
+	t.Helper()
+	cfg := dataset.DefaultFairConfig()
+	cfg.Products = 2
+	cfg.HorizonDays = 90
+	d, err := dataset.GenerateFair(stats.NewRNG(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newService(t, agg.NewPScheme())
+	if err := s.Load(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		day := 40 + float64(i)*0.3
+		if err := s.Submit(context.Background(), "tv1", fmt.Sprintf("evil%02d", i), 0.5, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestTrustServesPriorWhenRecomputeFails pins the serve-stale contract for
+// Trust: when a recompute fails outright, callers keep seeing the last good
+// trust estimate — not a silent reset to the neutral prior.
+func TestTrustServesPriorWhenRecomputeFails(t *testing.T) {
+	s := primeAttackedPScheme(t)
+	ctx := context.Background()
+
+	tr0 := s.Trust(ctx, "evil00") // fresh recompute happens here
+	if tr0 >= 0.5 {
+		t.Fatalf("attacker trust = %v, want < 0.5 before the failure", tr0)
+	}
+
+	// Break the scheme, then dirty the cache so the next read must recompute.
+	s.mu.Lock()
+	s.scheme = panicScheme{}
+	s.mu.Unlock()
+	if err := s.Submit(ctx, "tv1", "late-rater", 3, 60); err != nil {
+		t.Fatal(err)
+	}
+
+	if tr := s.Trust(ctx, "evil00"); tr != tr0 {
+		t.Fatalf("trust after failed recompute = %v, want prior %v", tr, tr0)
+	}
+	rep, err := s.Inspect(ctx, "tv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stale {
+		t.Fatal("report not marked stale after failed recompute")
+	}
+}
+
+// TestTrustLogsAbandonedRefresh pins the fix for the silently swallowed
+// refresh error: when the caller's context dies mid-recompute, Trust returns
+// the neutral prior AND says so in the log instead of dropping the error.
+func TestTrustLogsAbandonedRefresh(t *testing.T) {
+	s := primeAttackedPScheme(t)
+	var buf bytes.Buffer
+	s.SetLogger(log.New(&buf, "", 0))
+
+	// Dirty the cache, then ask with a context that is already dead: the
+	// refresh is abandoned, not failed, so the prior result is NOT safe to
+	// serve (it may be mid-invalidation) and the neutral prior comes back.
+	if err := s.Submit(context.Background(), "tv1", "very-late-rater", 3, 61); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if tr := s.Trust(ctx, "evil00"); tr != 0.5 {
+		t.Fatalf("trust with dead context = %v, want neutral 0.5", tr)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, `trust("evil00")`) || !strings.Contains(logged, "abandoned") {
+		t.Fatalf("abandoned refresh not logged; log output: %q", logged)
+	}
+
+	// A live context afterwards recomputes and serves the real estimate.
+	if tr := s.Trust(context.Background(), "evil00"); tr >= 0.5 {
+		t.Fatalf("attacker trust after recovery = %v, want < 0.5", tr)
+	}
+}

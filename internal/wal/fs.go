@@ -82,3 +82,9 @@ func (d osDir) Size(name string) (int64, error) {
 	}
 	return fi.Size(), nil
 }
+
+// Sub implements SubdirFS: shard subdirectories are real directories on
+// disk, created on first use.
+func (d osDir) Sub(dir string) (FS, error) {
+	return OSDir(filepath.Join(d.root, dir))
+}
