@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ratinglint [-list] [patterns ...]
+//	ratinglint [-list] [-json] [-audit] [patterns ...]
 //
 // Patterns default to ./... and are resolved by `go list` from the current
 // directory. Exit status is 0 when clean, 1 when findings were reported,
@@ -13,9 +13,17 @@
 // `//lint:ignore <analyzer> <rationale>` (and detmaprange additionally
 // `//lint:orderindependent <rationale>`) on the flagged line or the line
 // above; a matching directive without a rationale is itself reported.
+//
+// -json emits findings as a JSON array of objects with file, line, column,
+// analyzer, message, and the suppression directive that would silence the
+// finding, for CI annotation tooling. -audit switches from invariant
+// checking to suppression hygiene: every //lint: directive with an empty
+// rationale, an unknown verb, or that no longer suppresses anything is
+// reported, so exceptions cannot silently outlive the code they excused.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +35,36 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiagnostic is the machine-readable shape of one finding. Suppression
+// holds the exact directive a developer would add (with a rationale) to
+// accept the finding as a documented exception.
+type jsonDiagnostic struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Column      int    `json:"column"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Suppression string `json:"suppression,omitempty"`
+}
+
+// suppressionFor returns the directive that would silence the diagnostic.
+// Audit findings are about the directives themselves and cannot be
+// suppressed — the fix is editing the directive.
+func suppressionFor(d lint.Diagnostic) string {
+	if d.Analyzer == "audit" {
+		return ""
+	}
+	return fmt.Sprintf("//lint:ignore %s <rationale>", d.Analyzer)
+}
+
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("ratinglint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as JSON for annotation tooling")
+	audit := fs.Bool("audit", false, "audit suppression directives instead of running the analyzers")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: ratinglint [-list] [patterns ...]\n\n")
+		fmt.Fprintf(stderr, "usage: ratinglint [-list] [-json] [-audit] [patterns ...]\n\n")
 		fmt.Fprintf(stderr, "Runs the repo's invariant analyzers over the packages matched by the\n")
 		fmt.Fprintf(stderr, "patterns (default ./...). See DESIGN.md §9 for the enforced invariants.\n\n")
 		fs.PrintDefaults()
@@ -51,13 +83,39 @@ func run(args []string, stdout, stderr *os.File) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := lint.Run(".", patterns, analyzers)
+	var diags []lint.Diagnostic
+	var err error
+	if *audit {
+		diags, err = lint.Audit(".", patterns, analyzers)
+	} else {
+		diags, err = lint.Run(".", patterns, analyzers)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "ratinglint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:        d.Pos.Filename,
+				Line:        d.Pos.Line,
+				Column:      d.Pos.Column,
+				Analyzer:    d.Analyzer,
+				Message:     d.Message,
+				Suppression: suppressionFor(d),
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "ratinglint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "ratinglint: %d finding(s)\n", len(diags))

@@ -40,6 +40,8 @@ func (b ARCBand) String() string {
 // attacker rating exactly on the boundary value (2.5 for a mean-4 product)
 // would fall outside the "lower than threshold_b" band by a hair and the
 // L-ARC detector would never see the attack.
+//
+//lint:hotpath
 func BandThresholds(mean float64) (thresholdA, thresholdB float64) {
 	tb := 0.5*mean + 0.5
 	tb = math.Ceil(tb*2)/2 + 0.01

@@ -151,6 +151,8 @@ func markBand(s dataset.Series, iv Interval, arc ARCResult, suspicious []bool) {
 
 // contextMean returns the mean rating value outside the interval (falling
 // back to the whole-series mean when the interval covers everything).
+//
+//lint:hotpath
 func contextMean(s dataset.Series, iv Interval) float64 {
 	var sum float64
 	var n int

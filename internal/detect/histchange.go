@@ -91,6 +91,8 @@ func histogramChangeWith(sc *Scratch, s dataset.Series, cfg Config) HCResult {
 // 2-cluster single-linkage cut is the largest adjacent gap (earliest
 // position on ties, matching SingleLinkage's deterministic tie-break), so
 // the cluster sizes and the separating gap fall out of one scan.
+//
+//lint:hotpath
 func sortedGapRatio(sorted []float64, minGap float64) float64 {
 	if len(sorted) < 2 {
 		return 0

@@ -1,0 +1,92 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// The benchmarks and the alloc-free guard below back the //lint:hotpath
+// annotations in this package: hotalloc proves statically that the kernels
+// cannot allocate or lock, and AllocsPerRun proves it at runtime, so the
+// two gates cross-check each other.
+
+func hotpathSeries(n int) dataset.Series {
+	s := make(dataset.Series, n)
+	for i := range s {
+		s[i] = dataset.Rating{Day: float64(i), Value: 1 + float64(i%9)*0.5}
+	}
+	return s
+}
+
+func hotpathSorted(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) * 0.5
+	}
+	return xs
+}
+
+func TestHotpathKernelsAllocFree(t *testing.T) {
+	s := hotpathSeries(256)
+	x1, x2 := s[:128], s[128:]
+	sorted := hotpathSorted(64)
+	buf := make([]float64, 512)
+	iv := Interval{Start: 32, End: 96}
+	kernels := map[string]func(){
+		"seriesMean":           func() { seriesMean(s) },
+		"seriesSum":            func() { seriesSum(s) },
+		"seriesPooledVariance": func() { seriesPooledVariance(x1, x2, 1) },
+		"seriesMeanChangeGLRT": func() { seriesMeanChangeGLRT(x1, x2, 1) },
+		"sortedGapRatio":       func() { sortedGapRatio(sorted, 0.1) },
+		"contextMean":          func() { contextMean(s, iv) },
+		"BandThresholds":       func() { BandThresholds(3.5) },
+		"clearFloats":          func() { clearFloats(buf) },
+	}
+	for name, fn := range kernels {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("hotpath kernel %s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+func BenchmarkSeriesMean(b *testing.B) {
+	s := hotpathSeries(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seriesMean(s)
+	}
+}
+
+func BenchmarkSeriesPooledVariance(b *testing.B) {
+	s := hotpathSeries(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seriesPooledVariance(s[:128], s[128:], 1)
+	}
+}
+
+func BenchmarkSeriesMeanChangeGLRT(b *testing.B) {
+	s := hotpathSeries(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seriesMeanChangeGLRT(s[:128], s[128:], 1)
+	}
+}
+
+func BenchmarkSortedGapRatio(b *testing.B) {
+	sorted := hotpathSorted(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sortedGapRatio(sorted, 0.1)
+	}
+}
+
+func BenchmarkContextMean(b *testing.B) {
+	s := hotpathSeries(256)
+	iv := Interval{Start: 32, End: 96}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		contextMean(s, iv)
+	}
+}

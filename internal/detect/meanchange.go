@@ -80,6 +80,8 @@ func MCCurve(s dataset.Series, cfg Config) Curve {
 
 // seriesMean mirrors stats.Mean over a series' values (same summation
 // order, no copy).
+//
+//lint:hotpath
 func seriesMean(s dataset.Series) float64 {
 	if len(s) == 0 {
 		return 0
@@ -92,6 +94,8 @@ func seriesMean(s dataset.Series) float64 {
 }
 
 // seriesSum mirrors stats.Sum over a series' values.
+//
+//lint:hotpath
 func seriesSum(s dataset.Series) float64 {
 	var sum float64
 	for i := range s {
@@ -102,6 +106,8 @@ func seriesSum(s dataset.Series) float64 {
 
 // seriesPooledVariance mirrors stats.PooledVariance over two series
 // segments (identical arithmetic, no copies).
+//
+//lint:hotpath
 func seriesPooledVariance(x1, x2 dataset.Series, fallback float64) float64 {
 	n := len(x1) + len(x2)
 	if n < 3 {
@@ -126,6 +132,8 @@ func seriesPooledVariance(x1, x2 dataset.Series, fallback float64) float64 {
 
 // seriesMeanChangeGLRT mirrors stats.MeanChangeGLRT over two series
 // segments.
+//
+//lint:hotpath
 func seriesMeanChangeGLRT(x1, x2 dataset.Series, sigma2 float64) float64 {
 	n1, n2 := len(x1), len(x2)
 	if n1 == 0 || n2 == 0 || sigma2 <= 0 {

@@ -58,6 +58,7 @@ func (sc *Scratch) valsBuf(n int) []float64 {
 	return sc.vals
 }
 
+//lint:hotpath
 func clearFloats(xs []float64) {
 	for i := range xs {
 		xs[i] = 0

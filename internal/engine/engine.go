@@ -187,7 +187,6 @@ func (e *Engine) runEpoch(ctx context.Context, d *dataset.Dataset, ep int, mgr *
 	// raters in sorted order, making the bit-exactness of the per-epoch
 	// trust fold structural rather than an argument about commutativity.
 	total := make(map[string]raterCounts)
-	//lint:orderindependent integer-count merge: += on int fields is exact and commutative, so any merge order yields the same totals
 	for _, counts := range perProduct {
 		for rater, c := range counts {
 			t := total[rater]

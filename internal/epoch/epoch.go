@@ -38,6 +38,8 @@ func PeriodInterval(i int, horizon float64) (start, end float64) {
 // PeriodOf returns the index of the period containing day, clamped to
 // [0, Periods(horizon)]: a negative day maps to period 0 and a day at or
 // past the horizon maps to the one-past-the-end period.
+//
+//lint:hotpath
 func PeriodOf(day, horizon float64) int {
 	if day <= 0 || math.IsNaN(day) {
 		return 0

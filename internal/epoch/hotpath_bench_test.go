@@ -1,0 +1,19 @@
+package epoch
+
+import "testing"
+
+// Runtime counterpart of the //lint:hotpath annotation on PeriodOf: the
+// static gate proves it cannot allocate, AllocsPerRun proves it did not.
+
+func TestPeriodOfAllocFree(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() { PeriodOf(91, 365) }); allocs != 0 {
+		t.Errorf("PeriodOf: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkPeriodOf(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PeriodOf(float64(i%400), 365)
+	}
+}

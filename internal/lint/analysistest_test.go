@@ -43,7 +43,7 @@ func runFixture(t *testing.T, a *Analyzer, dirs ...string) {
 	if len(pkgs) != len(dirs) {
 		t.Fatalf("loaded %d packages for %d fixture dirs", len(pkgs), len(dirs))
 	}
-	diags, err := runAnalyzers(pkgs, []*Analyzer{a})
+	diags, _, err := runAnalyzers(pkgs, []*Analyzer{a})
 	if err != nil {
 		t.Fatalf("run %s: %v", a.Name, err)
 	}
@@ -114,6 +114,21 @@ func TestWALErr(t *testing.T) {
 
 func TestLockHeld(t *testing.T) {
 	runFixture(t, LockHeld, "lockheld/internal/server", "lockheld/internal/store")
+}
+
+func TestDuraTaint(t *testing.T) {
+	runFixture(t, DuraTaint, "durataint/internal/store")
+}
+
+func TestHotAlloc(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc/internal/detect")
+}
+
+func TestLockOrder(t *testing.T) {
+	runFixture(t, LockOrder,
+		"lockorder/internal/server",
+		"lockorder/internal/store",
+		"lockorder/internal/trust")
 }
 
 func TestNoWall(t *testing.T) {

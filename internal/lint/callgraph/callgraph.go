@@ -1,0 +1,450 @@
+// Package callgraph builds a deterministic whole-program call graph over
+// the repo's type-checked packages, using only the standard library. It is
+// the substrate of the interprocedural analyzers in internal/lint
+// (lockorder, durataint, hotalloc): they ask "what can this function reach"
+// and "who calls this", questions a per-function AST walk cannot answer
+// once an invariant spans package boundaries.
+//
+// Resolution is CHA-style (class hierarchy analysis): a call through an
+// interface method fans out to the method of every named type in the
+// program that implements the interface — a closed-world assumption over
+// the loaded packages. The interface matched is the receiver expression's
+// static type, not the method's declaring interface: calling Close on a
+// wal.File fans out to implementers of File's full method set, where the
+// declaring interface (the embedded io.Closer) would drag in every type in
+// the program with a Close method. Calls through plain function values (variables,
+// fields, parameters of func type) are not resolved, and function-literal
+// bodies are excluded from their enclosing function's edges (a closure runs
+// later, under its eventual caller); both trade-offs are documented in
+// DESIGN.md §13 and shared with the ctxfirst analyzer's conventions.
+//
+// Determinism is load-bearing: analyzers iterate the graph to produce
+// diagnostics, and CI diffs serialized findings, so Build sorts nodes by
+// (full name, declaration position) and edges by (call-site position,
+// callee). Two independent builds over the same source produce
+// byte-identical EdgeList output, which a test pins.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Source is one type-checked package to include in the graph. The fields
+// mirror what internal/lint's loader produces; all Sources must share one
+// token.FileSet.
+type Source struct {
+	Path  string
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+}
+
+// Kind classifies how a call edge was resolved.
+type Kind int
+
+const (
+	// Static is a direct call to a package function or a method on a
+	// concrete receiver type.
+	Static Kind = iota
+	// Interface is a call through an interface method, fanned out to a
+	// concrete implementation by CHA.
+	Interface
+	// Dynamic is a call through an interface method with no implementation
+	// in the program: the edge targets the abstract interface method so
+	// analyzers can see (and report) the unresolvable call.
+	Dynamic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Interface:
+		return "interface"
+	case Dynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the position of the call expression in the caller's body.
+	Site token.Pos
+	Kind Kind
+	// InDefer reports that the call site sits inside a defer statement and
+	// therefore runs at function return, not at its lexical position.
+	InDefer bool
+}
+
+// Node is one function or method. Functions without a declaration in the
+// program (standard-library callees, abstract interface methods) appear as
+// nodes with a nil Decl so call sites into them stay visible.
+type Node struct {
+	Func *types.Func
+	// Decl is the function's declaration, nil when its body is not part of
+	// the loaded program.
+	Decl *ast.FuncDecl
+	// SrcPath is the import path of the package whose source declares the
+	// function, empty for external nodes.
+	SrcPath string
+	// Out holds the node's call sites sorted by (site, callee, kind);
+	// In the reverse edges in the same order as discovered from callers.
+	Out []*Edge
+	In  []*Edge
+}
+
+// Name returns the canonical, package-qualified function name, e.g.
+// "repro/internal/store.Route" or "(*repro/internal/store.Store).Submit".
+func (n *Node) Name() string { return n.Func.FullName() }
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	Fset *token.FileSet
+	// Funcs holds every node in deterministic order: sorted by full name,
+	// then declaration position.
+	Funcs []*Node
+
+	byObj map[*types.Func]*Node
+}
+
+// Node returns the graph node for fn (generic instances are canonicalized
+// to their origin), or nil if fn is not in the graph.
+func (g *Graph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.byObj[fn.Origin()]
+}
+
+// Build constructs the call graph for the given sources. All sources must
+// share fset. The build is pure and deterministic: no maps are ranged
+// without sorting, and the result depends only on the source text.
+func Build(fset *token.FileSet, srcs []*Source) *Graph {
+	g := &Graph{Fset: fset, byObj: make(map[*types.Func]*Node)}
+	b := &builder{g: g}
+
+	// Pass 1: one node per declared function, in deterministic source
+	// order, so node identity never depends on call-site discovery order.
+	ordered := append([]*Source(nil), srcs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Path < ordered[j].Path })
+	for _, src := range ordered {
+		for _, f := range src.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := src.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := b.node(obj)
+				n.Decl = fd
+				n.SrcPath = src.Path
+			}
+		}
+	}
+
+	b.collectConcreteTypes(ordered)
+
+	// Pass 2: edges.
+	for _, src := range ordered {
+		for _, f := range src.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := src.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.walkBody(src, b.node(obj), fd.Body)
+			}
+		}
+	}
+
+	// Final deterministic ordering of nodes and edges.
+	for _, n := range g.byObj {
+		g.Funcs = append(g.Funcs, n)
+	}
+	sort.Slice(g.Funcs, func(i, j int) bool {
+		a, c := g.Funcs[i], g.Funcs[j]
+		if a.Name() != c.Name() {
+			return a.Name() < c.Name()
+		}
+		return declPos(fset, a).String() < declPos(fset, c).String()
+	})
+	for _, n := range g.Funcs {
+		sortEdges(fset, n.Out)
+	}
+	// Reverse edges, in global deterministic order.
+	for _, n := range g.Funcs {
+		for _, e := range n.Out {
+			e.Callee.In = append(e.Callee.In, e)
+		}
+	}
+	return g
+}
+
+func declPos(fset *token.FileSet, n *Node) token.Position {
+	if n.Decl != nil {
+		return fset.Position(n.Decl.Pos())
+	}
+	return token.Position{}
+}
+
+func sortEdges(fset *token.FileSet, edges []*Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		pa, pb := fset.Position(a.Site), fset.Position(b.Site)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Offset != pb.Offset {
+			return pa.Offset < pb.Offset
+		}
+		if a.Callee.Name() != b.Callee.Name() {
+			return a.Callee.Name() < b.Callee.Name()
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+type builder struct {
+	g *Graph
+	// concrete holds every non-interface named type declared in the
+	// program, sorted by full name, for CHA fan-out.
+	concrete []*types.Named
+	// implCache memoizes (interface, method) → implementing methods.
+	implCache map[implKey][]*types.Func
+}
+
+// implKey keys the implementation cache by the receiver's static interface
+// type and the called method.
+type implKey struct {
+	iface *types.Interface
+	m     *types.Func
+}
+
+func (b *builder) node(fn *types.Func) *Node {
+	fn = fn.Origin()
+	if n, ok := b.g.byObj[fn]; ok {
+		return n
+	}
+	n := &Node{Func: fn}
+	b.g.byObj[fn] = n
+	return n
+}
+
+// collectConcreteTypes gathers the named non-interface types of every
+// source package, in deterministic order, as the CHA universe.
+func (b *builder) collectConcreteTypes(srcs []*Source) {
+	b.implCache = make(map[implKey][]*types.Func)
+	seen := make(map[*types.TypeName]bool)
+	for _, src := range srcs {
+		scope := src.Types.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() || seen[tn] {
+				continue
+			}
+			seen[tn] = true
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			b.concrete = append(b.concrete, named)
+		}
+	}
+}
+
+// implementations resolves an interface-method call to the matching
+// concrete methods of every program type implementing iface. The caller
+// passes the receiver expression's static interface type, not the method's
+// declaring interface: a call to f.Close() where f is a wal.File resolves
+// Close against File's full four-method set, while the declaring interface
+// (the embedded io.Closer) would fan out to every type in the program with
+// a Close method — CHA's embedded-interface blowup.
+func (b *builder) implementations(iface *types.Interface, m *types.Func) []*types.Func {
+	m = m.Origin()
+	key := implKey{iface, m}
+	if impls, ok := b.implCache[key]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range b.concrete {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			impls = append(impls, fn.Origin())
+		}
+	}
+	b.implCache[key] = impls
+	return impls
+}
+
+// walkBody records the call edges of one function body. Function literals
+// are skipped: a closure's calls happen when the closure runs, under its
+// eventual caller.
+func (b *builder) walkBody(src *Source, caller *Node, body *ast.BlockStmt) {
+	var deferSpans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferSpans = append(deferSpans, [2]token.Pos{d.Pos(), d.End()})
+		}
+		return true
+	})
+	inDefer := func(p token.Pos) bool {
+		for _, s := range deferSpans {
+			if p >= s[0] && p < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			b.callEdges(src, caller, n, inDefer(n.Pos()))
+		}
+		return true
+	})
+}
+
+// callEdges resolves one call expression and appends the resulting edges.
+func (b *builder) callEdges(src *Source, caller *Node, call *ast.CallExpr, inDefer bool) {
+	callee := staticCallee(src.Info, call)
+	if callee == nil {
+		return // builtin, conversion, or unresolvable function value
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		// Resolve against the receiver expression's static interface type
+		// when available; the declaring interface (possibly an embedded
+		// one-method interface like io.Closer) is the wider fallback.
+		iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if selection, ok := src.Info.Selections[sel]; ok {
+				if recvIface, ok := selection.Recv().Underlying().(*types.Interface); ok {
+					iface = recvIface
+				}
+			}
+		}
+		if iface == nil {
+			return
+		}
+		impls := b.implementations(iface, callee)
+		if len(impls) == 0 {
+			b.addEdge(caller, b.node(callee), call.Pos(), Dynamic, inDefer)
+			return
+		}
+		for _, impl := range impls {
+			b.addEdge(caller, b.node(impl), call.Pos(), Interface, inDefer)
+		}
+		return
+	}
+	b.addEdge(caller, b.node(callee), call.Pos(), Static, inDefer)
+}
+
+func (b *builder) addEdge(caller, callee *Node, site token.Pos, kind Kind, inDefer bool) {
+	for _, e := range caller.Out {
+		if e.Site == site && e.Callee == callee && e.Kind == kind {
+			return
+		}
+	}
+	e := &Edge{Caller: caller, Callee: callee, Site: site, Kind: kind, InDefer: inDefer}
+	caller.Out = append(caller.Out, e)
+}
+
+// staticCallee resolves the called function object for plain calls, method
+// calls, and package-qualified calls; nil for builtins, conversions, and
+// calls through function values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// EdgeList serializes every edge as one line
+//
+//	caller -> callee [kind] file:line:col
+//
+// in the graph's deterministic order. Two builds over identical source
+// yield byte-identical output; the determinism test pins this.
+func (g *Graph) EdgeList() []string {
+	var out []string
+	for _, n := range g.Funcs {
+		for _, e := range n.Out {
+			out = append(out, fmt.Sprintf("%s -> %s [%s] %s",
+				n.Name(), e.Callee.Name(), e.Kind, g.Fset.Position(e.Site)))
+		}
+	}
+	return out
+}
+
+// Reachable walks out-edges breadth-first from roots in deterministic
+// order and returns every reachable node (roots included) plus, for each
+// non-root, the edge through which it was first discovered — enough to
+// reconstruct one witness call chain per node.
+func (g *Graph) Reachable(roots ...*Node) ([]*Node, map[*Node]*Edge) {
+	parent := make(map[*Node]*Edge)
+	seen := make(map[*Node]bool)
+	var order []*Node
+	queue := append([]*Node(nil), roots...)
+	for _, r := range queue {
+		seen[r] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range n.Out {
+			if seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			parent[e.Callee] = e
+			queue = append(queue, e.Callee)
+		}
+	}
+	return order, parent
+}
+
+// Chain reconstructs the witness call chain from a Reachable root to n as
+// "root → … → n" using the parent map returned by Reachable.
+func Chain(parent map[*Node]*Edge, n *Node) []*Node {
+	var rev []*Node
+	for {
+		rev = append(rev, n)
+		e, ok := parent[n]
+		if !ok {
+			break
+		}
+		n = e.Caller
+	}
+	out := make([]*Node, len(rev))
+	for i, x := range rev {
+		out[len(rev)-1-i] = x
+	}
+	return out
+}

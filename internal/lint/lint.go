@@ -29,7 +29,10 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one invariant check.
+// An Analyzer describes one invariant check. Per-package analyzers set
+// Run; whole-program (interprocedural) analyzers set RunProgram and are
+// invoked once over the full load with a shared call graph. Exactly one of
+// the two must be non-nil.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //lint:ignore
 	// directives.
@@ -38,6 +41,8 @@ type Analyzer struct {
 	Doc string
 	// Run performs the analysis on one package.
 	Run func(*Pass) error
+	// RunProgram performs the analysis once over the whole program.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -128,17 +133,37 @@ func (d directive) matches(analyzer string) bool {
 	return false
 }
 
-// runAnalyzers executes every analyzer over every package and resolves
-// suppression directives. Diagnostics come back sorted by position. A
-// matching directive with no rationale does not suppress — it is converted
-// into its own finding, so silent exceptions cannot accumulate.
-func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// runAnalyzers executes every analyzer — per-package ones over each
+// package, whole-program ones once over a shared Program with a cached
+// call graph — and resolves suppression directives. Diagnostics come back
+// sorted by position. A matching directive with no rationale does not
+// suppress — it is converted into its own finding, so silent exceptions
+// cannot accumulate. The returned directives report, for every suppression
+// annotation in the program, whether it suppressed anything — the substrate
+// of the stale-suppression audit.
+func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []directiveUse, error) {
 	var raw []Diagnostic
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(pkgs)
+		}
+		pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &raw}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, nil, fmt.Errorf("lint: %s: %v", a.Name, err)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
 			}
 		}
 	}
@@ -148,31 +173,44 @@ func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		file string
 		line int
 	}
-	dirs := make(map[key][]directive)
+	var uses []directiveUse
+	dirs := make(map[key][]*directiveUse)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range parseDirectives(pkg.Fset, f) {
-				dirs[key{d.file, d.line}] = append(dirs[key{d.file, d.line}], d)
+				uses = append(uses, directiveUse{directive: d})
 			}
 		}
+	}
+	for i := range uses {
+		d := uses[i].directive
+		dirs[key{d.file, d.line}] = append(dirs[key{d.file, d.line}], &uses[i])
 	}
 
 	var out []Diagnostic
 	for _, diag := range raw {
 		suppressed := false
-		for _, line := range []int{diag.Pos.Line, diag.Pos.Line - 1} {
-			for _, d := range dirs[key{diag.Pos.Filename, line}] {
-				if !d.matches(diag.Analyzer) {
+		// A directive applies on the flagged line or in the contiguous run
+		// of directive lines above it, so two analyzers flagging the same
+		// statement can each be suppressed by stacked annotations.
+		lines := []int{diag.Pos.Line}
+		for l := diag.Pos.Line - 1; len(dirs[key{diag.Pos.Filename, l}]) > 0; l-- {
+			lines = append(lines, l)
+		}
+		for _, line := range lines {
+			for _, du := range dirs[key{diag.Pos.Filename, line}] {
+				if !du.matches(diag.Analyzer) {
 					continue
 				}
-				if d.rationale == "" {
+				if du.rationale == "" {
 					out = append(out, Diagnostic{
 						Analyzer: diag.Analyzer,
-						Pos:      token.Position{Filename: d.file, Line: d.line, Column: 1},
-						Message:  fmt.Sprintf("//lint:%s directive needs a rationale", d.verb),
+						Pos:      token.Position{Filename: du.file, Line: du.line, Column: 1},
+						Message:  fmt.Sprintf("//lint:%s directive needs a rationale", du.verb),
 					})
 				}
 				suppressed = true
+				du.used = true
 			}
 		}
 		if !suppressed {
@@ -192,7 +230,14 @@ func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	return out, uses, nil
+}
+
+// directiveUse is one suppression directive plus whether it suppressed at
+// least one raw diagnostic during the run.
+type directiveUse struct {
+	directive
+	used bool
 }
 
 // Run loads the packages matched by patterns (relative to dir) and applies
@@ -202,7 +247,63 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	if err != nil {
 		return nil, err
 	}
-	return runAnalyzers(pkgs, analyzers)
+	diags, _, err := runAnalyzers(pkgs, analyzers)
+	return diags, err
+}
+
+// Audit runs the analyzers in inventory mode over the loaded packages and
+// reports suppression hygiene instead of invariant findings: every
+// //lint:ignore or //lint:orderindependent directive with an empty
+// rationale, with an unknown verb, or that no longer suppresses any
+// diagnostic (a stale exception that outlived the code it excused) becomes
+// an "audit" finding. Exit-code semantics in cmd/ratinglint match the
+// normal run: findings mean a nonzero exit.
+func Audit(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	_, uses, err := runAnalyzers(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	report := func(d directive, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Analyzer: "audit",
+			Pos:      token.Position{Filename: d.file, Line: d.line, Column: 1},
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, du := range uses {
+		switch du.verb {
+		case "ignore", "orderindependent":
+			if du.rationale == "" {
+				report(du.directive, "//lint:%s directive has no rationale: exceptions must be explained", du.verb)
+				continue
+			}
+			if !du.used {
+				name := du.verb
+				if du.analyzer != "" {
+					name += " " + du.analyzer
+				}
+				report(du.directive, "stale //lint:%s directive: it no longer suppresses any finding — remove it or fix the drift", name)
+			}
+		case "hotpath":
+			// An assertion checked by hotalloc, not a suppression; nothing
+			// to audit beyond what the analyzer itself enforces.
+		default:
+			report(du.directive, "unknown //lint:%s directive: valid verbs are ignore, orderindependent, hotpath", du.verb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out, nil
 }
 
 // pathHasSegments reports whether want ("internal/engine") occurs in path

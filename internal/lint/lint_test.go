@@ -30,15 +30,18 @@ func TestPathHasSegments(t *testing.T) {
 func TestAllAnalyzers(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("analyzer %+v is incomplete", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunProgram", a.Name)
 		}
 		if names[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"ctxfirst", "detmaprange", "floateq", "walerr", "lockheld", "nowall"} {
+	for _, want := range []string{"ctxfirst", "detmaprange", "durataint", "floateq", "hotalloc", "lockheld", "lockorder", "nowall", "walerr"} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from All()", want)
 		}

@@ -70,24 +70,51 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("lint: no export data for %q", path)
-		}
-		return os.Open(file)
-	})
+	imp := &sourceFirstImporter{
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+		srcs: make(map[string]*types.Package),
+	}
 
+	// Targets arrive from `go list -deps` in dependency order, so checking
+	// them in sequence lets each later package import the earlier ones'
+	// source-checked types. That keeps the whole program in one type
+	// universe — a function or type has a single types.Object no matter
+	// which package refers to it — which the interprocedural analyzers
+	// (call-graph identity, CHA interface matching) depend on. Export data
+	// remains the fallback for the standard library and any dependency
+	// that is not itself an analysis target.
 	var pkgs []*Package
 	for _, p := range targets {
 		pkg, err := typeCheck(fset, imp, p)
 		if err != nil {
 			return nil, err
 		}
+		imp.srcs[p.ImportPath] = pkg.Types
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// sourceFirstImporter resolves imports to already source-checked target
+// packages when available, falling back to compiler export data. It is the
+// mechanism that keeps every loaded package in one type universe.
+type sourceFirstImporter struct {
+	gc   types.Importer
+	srcs map[string]*types.Package
+}
+
+func (i *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if p := i.srcs[path]; p != nil {
+		return p, nil
+	}
+	return i.gc.Import(path)
 }
 
 func goList(dir string, patterns []string) ([]*listedPackage, error) {

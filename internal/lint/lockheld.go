@@ -6,6 +6,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/cfg"
 )
 
 // lockedPkgs are the packages whose types follow the documented locking
@@ -74,6 +76,22 @@ func runLockHeld(pass *Pass) error {
 	return nil
 }
 
+// Held-state lattice for the lock-discipline dataflow: the receiver's mu is
+// definitely not held, definitely held, or held on some paths only.
+const (
+	muUnheld = iota
+	muHeld
+	muMixed
+)
+
+// checkLockDiscipline runs a CFG dataflow over the method: the receiver's
+// mu state propagates through lock/unlock events block by block, and a
+// guarded-field access is flagged only where mu is definitely not held on
+// every path — which catches the unlock-then-relock gap (release mu across
+// an fsync, touch state, reacquire) that a first-lock-versus-first-access
+// comparison is blind to, while branch-dependent locking (mixed state)
+// stays silent. Deferred unlocks run at return and do not release the
+// lexical hold; accesses are evaluated at their lexical position.
 func checkLockDiscipline(pass *Pass, fn *ast.FuncDecl) {
 	recvField := fn.Recv.List[0]
 	if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
@@ -86,28 +104,19 @@ func checkLockDiscipline(pass *Pass, fn *ast.FuncDecl) {
 	if !hasGuardField(recvObj.Type()) {
 		return
 	}
-
-	firstLock := token.NoPos
-	firstAccess := token.NoPos
-	var firstAccessField string
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if isMuLockCall(pass.Pkg.Info, n, recvObj) && (!firstLock.IsValid() || n.Pos() < firstLock) {
-				firstLock = n.Pos()
-			}
-		case *ast.SelectorExpr:
-			name, ok := guardedFieldAccess(pass.Pkg.Info, n, recvObj)
-			if ok && (!firstAccess.IsValid() || n.Pos() < firstAccess) {
-				firstAccess = n.Pos()
-				firstAccessField = name
-			}
-		}
-		return true
-	})
-
+	info := pass.Pkg.Info
 	recv := recvField.Names[0].Name
+
 	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		firstLock := token.NoPos
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if isMuLockCall(info, call, recvObj) && (!firstLock.IsValid() || call.Pos() < firstLock) {
+					firstLock = call.Pos()
+				}
+			}
+			return true
+		})
 		if firstLock.IsValid() {
 			pass.Reportf(firstLock,
 				"method %s acquires %s.mu but its Locked suffix promises the caller already holds it: this self-deadlocks (sync.Mutex is not reentrant)",
@@ -115,12 +124,129 @@ func checkLockDiscipline(pass *Pass, fn *ast.FuncDecl) {
 		}
 		return
 	}
-	if firstAccess.IsValid() && (!firstLock.IsValid() || firstAccess < firstLock) {
-		pos := pass.Pkg.Fset.Position(firstAccess)
+
+	// Deferred lock/unlock calls run at return, not at their lexical
+	// position: exclude them from the event stream.
+	var deferSpans [][2]token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferSpans = append(deferSpans, [2]token.Pos{d.Pos(), d.End()})
+		}
+		return true
+	})
+	inDefer := func(p token.Pos) bool {
+		for _, s := range deferSpans {
+			if p >= s[0] && p < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	type muEvent struct {
+		pos   token.Pos
+		kind  int // evLock, evUnlock, or evAccess
+		field string
+	}
+	g := cfg.New(fn.Body)
+	events := make([][]muEvent, len(g.Blocks))
+	for _, b := range g.Blocks {
+		var evs []muEvent
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if inDefer(n.Pos()) {
+						return true
+					}
+					if isMuLockCall(info, n, recvObj) {
+						evs = append(evs, muEvent{pos: n.Pos(), kind: evLock})
+					} else if isMuUnlockCall(info, n, recvObj) {
+						evs = append(evs, muEvent{pos: n.Pos(), kind: evUnlock})
+					}
+				case *ast.SelectorExpr:
+					if name, ok := guardedFieldAccess(info, n, recvObj); ok {
+						evs = append(evs, muEvent{pos: n.Pos(), kind: evAccess, field: name})
+					}
+				}
+				return true
+			})
+		}
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		events[b.Index] = evs
+	}
+
+	badPos := token.NoPos
+	var badField string
+	apply := func(state int, evs []muEvent, record bool) int {
+		for _, ev := range evs {
+			switch ev.kind {
+			case evLock:
+				state = muHeld
+			case evUnlock:
+				state = muUnheld
+			case evAccess:
+				if state == muUnheld && record && (!badPos.IsValid() || ev.pos < badPos) {
+					badPos, badField = ev.pos, ev.field
+				}
+			}
+		}
+		return state
+	}
+
+	// Fixpoint over may/must-held: meet is equality-or-mixed.
+	in := make([]int, len(g.Blocks))
+	for i := range in {
+		in[i] = -1 // unvisited
+	}
+	in[0] = muUnheld
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if in[b.Index] < 0 {
+				continue
+			}
+			out := apply(in[b.Index], events[b.Index], false)
+			for _, s := range b.Succs {
+				merged := out
+				if cur := in[s.Index]; cur >= 0 && cur != out {
+					merged = muMixed
+				}
+				if merged != in[s.Index] {
+					in[s.Index] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		if in[b.Index] < 0 {
+			continue // unreachable
+		}
+		apply(in[b.Index], events[b.Index], true)
+	}
+
+	if badPos.IsValid() {
+		pos := pass.Pkg.Fset.Position(badPos)
 		pass.Reportf(fn.Name.Pos(),
 			"method %s accesses guarded field %s.%s (line %d) without holding %s.mu: acquire the mutex first, add the Locked suffix (caller-holds contract), or annotate //lint:ignore lockheld with a rationale",
-			fn.Name.Name, recv, firstAccessField, pos.Line, recv)
+			fn.Name.Name, recv, badField, pos.Line, recv)
 	}
+}
+
+// isMuUnlockCall reports whether call releases the receiver's mutex:
+// recv.mu.Unlock() or recv.mu.RUnlock().
+func isMuUnlockCall(info *types.Info, call *ast.CallExpr, recvObj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	x, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || x.Sel.Name != "mu" {
+		return false
+	}
+	id, ok := x.X.(*ast.Ident)
+	return ok && info.Uses[id] == recvObj
 }
 
 // hasGuardField reports whether the (possibly pointer) receiver type is a
@@ -319,4 +445,5 @@ const (
 	evLock = iota
 	evUnlock
 	evBlocking
+	evAccess
 )

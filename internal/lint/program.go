@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"sync"
+
+	"repro/internal/lint/callgraph"
+)
+
+// Program is the whole-program view handed to interprocedural analyzers:
+// every loaded package plus a lazily built, cached call graph shared across
+// analyzers, and a fact store through which analyzers export their
+// summaries so later analyzers (and tests) can compose with them.
+type Program struct {
+	// Pkgs holds the loaded packages sorted by import path.
+	Pkgs []*Package
+	// Fset is the file set shared by every package in the program.
+	Fset *token.FileSet
+
+	cgOnce sync.Once
+	cg     *callgraph.Graph
+
+	mu    sync.Mutex
+	facts map[string]any
+}
+
+// NewProgram assembles a Program from loaded packages. All packages must
+// share one token.FileSet (the loader guarantees this).
+func NewProgram(pkgs []*Package) *Program {
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	p := &Program{Pkgs: sorted, facts: make(map[string]any)}
+	if len(sorted) > 0 {
+		p.Fset = sorted[0].Fset
+	}
+	return p
+}
+
+// CallGraph builds the program's CHA call graph on first use and returns
+// the cached graph afterwards — every interprocedural analyzer shares one
+// build.
+func (p *Program) CallGraph() *callgraph.Graph {
+	p.cgOnce.Do(func() {
+		srcs := make([]*callgraph.Source, len(p.Pkgs))
+		for i, pkg := range p.Pkgs {
+			srcs[i] = &callgraph.Source{
+				Path:  pkg.Path,
+				Files: pkg.Files,
+				Info:  pkg.Info,
+				Types: pkg.Types,
+			}
+		}
+		p.cg = callgraph.Build(p.Fset, srcs)
+	})
+	return p.cg
+}
+
+// ExportFact records a named analyzer fact (its computed summary — lock
+// graph, taint set, hotpath roots) for later analyzers and tests to
+// consume via Fact.
+func (p *Program) ExportFact(analyzer string, fact any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.facts[analyzer] = fact
+}
+
+// Fact returns the fact exported under the analyzer's name, or nil.
+func (p *Program) Fact(analyzer string) any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.facts[analyzer]
+}
+
+// A ProgramPass provides one whole-program analyzer with the Program and a
+// diagnostic sink; the suppression pipeline downstream is identical to the
+// per-package one.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact publishes the running analyzer's fact under its own name.
+func (p *ProgramPass) ExportFact(fact any) {
+	p.Prog.ExportFact(p.Analyzer.Name, fact)
+}

@@ -1,0 +1,84 @@
+// Package hotfix exercises hotalloc: //lint:hotpath roots must be
+// transitively allocation-free and lock-free. Clean kernels (pure
+// arithmetic, local helpers, math calls) pass; every allocating or locking
+// construct is flagged, in the annotated function or any function it can
+// reach — including interface calls CHA-resolved to their implementations
+// and externals whose bodies the program cannot see.
+package hotfix
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Hot is the clean shape: slice params in, scalar out, a local helper and
+// an allowlisted math call on the way.
+//
+//lint:hotpath route-style scoring kernel backed by a 0-alloc benchmark
+func Hot(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += scale(x)
+	}
+	return math.Sqrt(sum)
+}
+
+func scale(x float64) float64 { return x * 1.5 }
+
+type point struct{ x float64 }
+
+//lint:hotpath heap constructs anywhere in the body are findings
+func HotHeap(xs []float64, s string) float64 {
+	buf := make([]float64, 0, len(xs)) // want "make allocates"
+	buf = append(buf, xs...)           // want "append may grow and allocate"
+	p := &point{x: 1}                  // want "pointer composite literal escapes to the heap"
+	lit := []float64{1, 2}             // want "slice or map composite literal allocates"
+	msg := s + "!"                     // want "string concatenation allocates"
+	b := []byte(msg)                   // want "conversion between string and"
+	return buf[0] + p.x + lit[0] + float64(len(b))
+}
+
+func tick() {}
+
+//lint:hotpath concurrency constructs are neither allocation- nor lock-free
+func HotConc(ch chan int, m *sync.Mutex, f func() int) int {
+	defer tick()                  // want "defer is not allowed on a hot path"
+	go tick()                     // want "go statement spawns a goroutine"
+	ch <- 1                       // want "channel send blocks"
+	v := <-ch                     // want "channel receive blocks"
+	m.Lock()                      // want "acquires sync.Mutex.Lock"
+	m.Unlock()                    // want "acquires sync.Mutex.Unlock"
+	cl := func() int { return 0 } // want "function literal allocates a closure"
+	a := f()                      // want "call through a function value"
+	b := cl()                     // want "call through a function value"
+	return v + a + b
+}
+
+//lint:hotpath externals without loaded bodies cannot be proven
+func HotExtern(x float64) string {
+	return fmt.Sprintf("%.2f", x) // want "external function fmt.Sprintf"
+}
+
+type accumulator interface{ add(x float64) }
+
+type sliceAcc struct{ xs []float64 }
+
+// add is never annotated itself: it is flagged because HotIface's
+// interface call CHA-resolves to it, and the finding carries the witness
+// chain from the root.
+func (a *sliceAcc) add(x float64) {
+	a.xs = append(a.xs, x) // want "append may grow and allocate.*hot path: HotIface -> sliceAcc.add"
+}
+
+//lint:hotpath the interface call resolves to sliceAcc.add, which allocates
+func HotIface(a accumulator) {
+	a.add(1)
+}
+
+type sink interface{ emit(x float64) }
+
+//lint:hotpath no program type implements sink: the dispatch is opaque
+func HotDyn(s sink) {
+	s.emit(1) // want "unresolved interface method"
+}

@@ -70,3 +70,32 @@ func (sh *shard) GoodPeer() *shard {
 func (sh *shard) BadRead() float64 { // want "accesses guarded field sh.data"
 	return sh.data[0]
 }
+
+// BadRelockGap follows the reserve/release/apply shape but touches guarded
+// state in the gap where mu is released: a first-lock-versus-first-access
+// comparison is blind to this, the held-state dataflow is not.
+func (sh *shard) BadRelockGap(v float64) error { // want "accesses guarded field sh.data"
+	sh.mu.Lock()
+	w := sh.wal
+	sh.mu.Unlock()
+	sh.data = append(sh.data, v)
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	sh.data = append(sh.data, v)
+	sh.mu.Unlock()
+	return nil
+}
+
+// BadDeferGap releases mu mid-body (the deferred unlock runs at return, it
+// does not cover the gap) and touches guarded state before reacquiring.
+func (sh *shard) BadDeferGap(v float64) float64 { // want "accesses guarded field sh.data"
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	snapshot := sh.data[0]
+	sh.mu.Unlock()
+	sh.data = append(sh.data, v)
+	sh.mu.Lock()
+	return snapshot
+}

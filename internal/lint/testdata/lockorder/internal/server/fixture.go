@@ -1,0 +1,40 @@
+// Package serverfix exercises lockorder's cross-package edges: the
+// coordinator holds Service.mu across store and trust calls (forward edges
+// along the documented order), while its Snapshot method — the program's
+// only implementation of the trust fixture's Source interface — lets the
+// trust layer acquire Service.mu under Manager.mu, closing a cycle that
+// spans three packages and an interface dispatch.
+package serverfix
+
+import (
+	"sync"
+
+	storefix "repro/internal/lint/testdata/lockorder/internal/store"
+	trustfix "repro/internal/lint/testdata/lockorder/internal/trust"
+)
+
+type Service struct {
+	mu sync.RWMutex
+	st *storefix.Store
+	tm *trustfix.Manager
+}
+
+// Rate holds the coordinator lock across the store submit (Service.mu →
+// Store.mu → shard.mu, all forward) and the trust bump. The trust call is
+// the first witness of the Service.mu → Manager.mu edge, so the
+// Service.mu ⇄ Manager.mu cycle (closed by trustfix.Recompute through the
+// Source interface) is anchored here.
+func (s *Service) Rate(i int, v float64) {
+	s.mu.RLock()
+	s.st.Submit(i, v)
+	s.tm.Bump("rater") // want "lock-order cycle — potential deadlock"
+	s.mu.RUnlock()
+}
+
+// Snapshot implements trustfix.Source; it takes Service.mu, which is what
+// makes the trust layer's interface call a reverse lock edge.
+func (s *Service) Snapshot() []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package storefix exercises lockorder inside an internal/store package
+// path: the documented Store.mu → shard.mu order is a plain edge, the
+// reverse acquisition closes a cycle, nesting two instances of one class
+// needs a documented instance order, and a call chain that reaches a WAL
+// fsync while the shard mutex is held is flagged interprocedurally.
+package storefix
+
+import (
+	"sync"
+
+	"repro/internal/wal"
+)
+
+type Store struct {
+	mu     sync.RWMutex
+	shards []*shard
+}
+
+type shard struct {
+	mu   sync.Mutex
+	wal  *wal.WAL
+	vals []float64
+}
+
+// Submit follows the documented Store.mu → shard.mu order. The nested
+// acquisition is where the analyzer anchors the whole cycle report once
+// badBack (below) adds the reverse edge: the earliest witness of the
+// cycle's first edge is the deterministic report site.
+func (s *Store) Submit(i int, v float64) {
+	s.mu.RLock()
+	sh := s.shards[i]
+	sh.mu.Lock() // want "lock-order cycle — potential deadlock"
+	sh.vals = append(sh.vals, v)
+	sh.mu.Unlock()
+	s.mu.RUnlock()
+}
+
+// badBack acquires the topology lock while holding a shard lock — the
+// reverse of Submit's order. Together they form the Store.mu ⇄ shard.mu
+// cycle reported at Submit's nested acquisition above.
+func (sh *shard) badBack(s *Store) int {
+	sh.mu.Lock()
+	s.mu.RLock()
+	n := len(s.shards)
+	s.mu.RUnlock()
+	sh.mu.Unlock()
+	return n
+}
+
+// lockPair nests two instances of the same class with no documented order.
+func (s *Store) lockPair(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want "a second instance is acquired while one is already held"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// flush is the blocking leaf: its direct wal.Sync call taints every caller
+// in the may-block summary.
+func (sh *shard) flush() error {
+	return sh.wal.Sync()
+}
+
+func (sh *shard) relay() error {
+	return sh.flush()
+}
+
+// badCheckpoint fsyncs one call away while holding the shard state mutex.
+func (sh *shard) badCheckpoint() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.flush() // want "calls wal.Sync while holding internal/store.shard.mu"
+}
+
+// badDeep reaches the fsync two calls away; the diagnostic names the chain.
+func (sh *shard) badDeep() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.relay() // want "calls wal.Sync \(via shard.relay → shard.flush\) while holding internal/store.shard.mu"
+}
+
+// goodCheckpoint releases the state mutex across the fsync — the canonical
+// reserve/release/apply shape. No finding.
+func (sh *shard) goodCheckpoint(v float64) error {
+	sh.mu.Lock()
+	w := sh.wal
+	sh.mu.Unlock()
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	sh.vals = append(sh.vals, v)
+	sh.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package trustfix exercises lockorder's CHA resolution: Recompute holds
+// the trust mutex across an interface call whose only program
+// implementation is the coordinator's Snapshot (see the server fixture),
+// which takes Service.mu — the reverse edge that closes a cross-package
+// lock-order cycle no per-function analyzer can see.
+package trustfix
+
+import "sync"
+
+// Source is implemented by the server fixture's Service.
+type Source interface {
+	Snapshot() []float64
+}
+
+type Manager struct {
+	mu    sync.Mutex
+	score map[string]float64
+}
+
+func (m *Manager) Bump(id string) {
+	m.mu.Lock()
+	m.score[id]++
+	m.mu.Unlock()
+}
+
+// Recompute holds Manager.mu across the interface call. CHA fans the call
+// out to *Service.Snapshot, producing the Manager.mu → Service.mu edge.
+func (m *Manager) Recompute(src Source) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for range src.Snapshot() {
+	}
+}

@@ -68,9 +68,9 @@ type Service struct {
 	// mu guards the coordinator's cross-product state below. Rating state
 	// lives in the store, which synchronizes itself — Submit never takes
 	// this lock, so ingest proceeds while a recompute holds it.
-	mu     sync.RWMutex
-	scheme agg.Scheme
-	cached agg.Table
+	mu      sync.RWMutex
+	scheme  agg.Scheme
+	cached  agg.Table
 	pResult *agg.Result // set when scheme is the P-scheme
 	// engState holds the P-scheme engine's per-epoch trust checkpoints
 	// across recomputes (nil for other schemes, or after a failed
@@ -153,8 +153,6 @@ type WALOptions struct {
 // every 4096 ratings). It replays any existing snapshot + log before
 // returning, so the service resumes exactly where a crashed predecessor
 // stopped.
-//
-//lint:ignore ctxfirst boot-time recovery precedes serving; there is no request context to propagate and a partial replay must not be served
 func Open(scheme agg.Scheme, horizonDays float64, products []string, walDir string) (*Service, *RecoveryReport, error) {
 	return OpenWAL(scheme, horizonDays, products, WALOptions{Dir: walDir, SnapshotEvery: 4096})
 }
@@ -162,8 +160,6 @@ func Open(scheme agg.Scheme, horizonDays float64, products []string, walDir stri
 // OpenWAL is Open with explicit durability options, including the shard
 // count. Recovery is parallel: every shard replays its own snapshot + log
 // concurrently and the per-shard reports are merged in shard order.
-//
-//lint:ignore ctxfirst boot-time recovery precedes serving; there is no request context to propagate and a partial replay must not be served
 func OpenWAL(scheme agg.Scheme, horizonDays float64, products []string, opts WALOptions) (*Service, *RecoveryReport, error) {
 	if scheme == nil {
 		return nil, nil, errors.New("server: nil scheme")

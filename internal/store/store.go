@@ -52,6 +52,8 @@ const (
 // its arguments — the same product always lands on the same shard across
 // restarts and processes — and is the hash named by wal.RouteHashName in
 // the shard manifest.
+//
+//lint:hotpath
 func Route(product string, shards int) int {
 	if shards <= 1 {
 		return 0
@@ -287,6 +289,7 @@ func (st *Store) cut(reset bool) *RecomputeView {
 		marks:     make([]float64, len(st.shards)),
 	}
 	for _, sh := range st.shards {
+		//lint:ignore lockorder state mutexes are acquired in ascending shard order, the documented instance order for the consistent cut
 		sh.mu.Lock()
 	}
 	for i, sh := range st.shards {
@@ -383,6 +386,7 @@ func (st *Store) Load(ctx context.Context, d *dataset.Dataset) error {
 	// Quiesce every shard (exclusive gates, ascending) so the swap is one
 	// point in time for submissions and checkpoints alike.
 	for _, sh := range st.shards {
+		//lint:ignore lockorder gates are acquired in ascending shard order, the documented instance order for multi-shard holds
 		sh.gate.Lock()
 	}
 	defer func() {

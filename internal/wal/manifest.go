@@ -156,6 +156,6 @@ func (p prefixFS) OpenAppend(name string) (File, error) { return p.fs.OpenAppend
 func (p prefixFS) Rename(oldname, newname string) error {
 	return p.fs.Rename(p.prefix+oldname, p.prefix+newname)
 }
-func (p prefixFS) Remove(name string) error              { return p.fs.Remove(p.prefix + name) }
+func (p prefixFS) Remove(name string) error               { return p.fs.Remove(p.prefix + name) }
 func (p prefixFS) Truncate(name string, size int64) error { return p.fs.Truncate(p.prefix+name, size) }
-func (p prefixFS) Size(name string) (int64, error)       { return p.fs.Size(p.prefix + name) }
+func (p prefixFS) Size(name string) (int64, error)        { return p.fs.Size(p.prefix + name) }
