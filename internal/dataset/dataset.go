@@ -96,6 +96,20 @@ func (s Series) Merge(other Series) Series {
 	return out
 }
 
+// Insert returns a new sorted series with r added, leaving the receiver
+// untouched (copy-on-write, exactly presized from both input lengths). The
+// result is bit-identical to Merge(Series{r}): the new rating lands after
+// any existing same-day ratings, matching Merge's stable sort, at the cost
+// of one binary search and one copy instead of a full re-sort.
+func (s Series) Insert(r Rating) Series {
+	i := sort.Search(len(s), func(j int) bool { return s[j].Day > r.Day })
+	out := make(Series, len(s)+1)
+	copy(out, s[:i])
+	out[i] = r
+	copy(out[i+1:], s[i:])
+	return out
+}
+
 // Between returns the sub-series with Day in [lo, hi). The receiver must be
 // sorted. The result aliases the receiver's backing array.
 func (s Series) Between(lo, hi float64) Series {
@@ -162,9 +176,19 @@ func (s Series) Span() (first, last float64) {
 }
 
 // Product is a rated object with its rating history.
+//
+// Version is a monotone content version of Ratings, maintained by whoever
+// owns the product's mutations (internal/store bumps it on every applied
+// submit). It lets consumers detect series changes without rehashing: equal
+// versions on the same product ID promise a bit-identical series. Version 0
+// means "unversioned" — mutators that do not maintain the counter must
+// leave it at 0, which opts the product out of version-keyed caching
+// (internal/engine's memo plane). It is deliberately not serialized:
+// versions are only meaningful within one owner's lifetime.
 type Product struct {
 	ID      string `json:"id"`
 	Ratings Series `json:"ratings"`
+	Version uint64 `json:"-"`
 }
 
 // Dataset is a collection of products rated over a common horizon.
@@ -196,7 +220,7 @@ func (d *Dataset) ProductIDs() []string {
 func (d *Dataset) Clone() *Dataset {
 	out := &Dataset{HorizonDays: d.HorizonDays, Products: make([]Product, len(d.Products))}
 	for i, p := range d.Products {
-		out.Products[i] = Product{ID: p.ID, Ratings: p.Ratings.Clone()}
+		out.Products[i] = Product{ID: p.ID, Ratings: p.Ratings.Clone(), Version: p.Version}
 	}
 	return out
 }

@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestInsertMatchesMerge pins Insert's contract: for any sorted series and
+// any single rating, Insert is bit-identical to Merge of a one-element
+// series (which stable-sorts, so same-day ratings keep insertion order).
+func TestInsertMatchesMerge(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 200; trial++ {
+		var s Series
+		n := rng.IntN(20)
+		for i := 0; i < n; i++ {
+			// Coarse days force plenty of exact-day ties.
+			s = append(s, Rating{Day: float64(rng.IntN(8)), Value: float64(rng.IntN(10)) / 2,
+				Rater: fmt.Sprintf("r%d", i)})
+		}
+		s.Sort()
+		r := Rating{Day: float64(rng.IntN(8)), Value: 3, Rater: "new"}
+		got := s.Insert(r)
+		want := s.Merge(Series{r})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Insert = %v, Merge = %v", trial, got, want)
+		}
+		if len(got) != len(s)+1 || cap(got) != len(s)+1 {
+			t.Fatalf("trial %d: len/cap = %d/%d, want exact presize %d", trial, len(got), cap(got), len(s)+1)
+		}
+	}
+}
+
+// TestInsertCopyOnWrite: the receiver must be untouched and unaliased.
+func TestInsertCopyOnWrite(t *testing.T) {
+	s := Series{{Day: 1, Rater: "a"}, {Day: 3, Rater: "b"}}
+	orig := s.Clone()
+	out := s.Insert(Rating{Day: 2, Rater: "c"})
+	out[0].Rater = "mutated"
+	if !reflect.DeepEqual(s, orig) {
+		t.Fatalf("receiver mutated by Insert: %v", s)
+	}
+}
+
+// TestCloneKeepsVersion: dataset clones must carry product versions, or a
+// cloned dataset would silently opt out of version-keyed caching.
+func TestCloneKeepsVersion(t *testing.T) {
+	d := &Dataset{HorizonDays: 90, Products: []Product{
+		{ID: "p", Ratings: Series{{Day: 1}}, Version: 7},
+	}}
+	if got := d.Clone().Products[0].Version; got != 7 {
+		t.Fatalf("cloned Version = %d, want 7", got)
+	}
+}

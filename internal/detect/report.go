@@ -1,0 +1,55 @@
+package detect
+
+// Clone returns a deep copy of the report: the copy shares no mutable
+// memory with the original, so a cached Report can be replayed (its
+// Suspicious marks handed to a caller that may keep or mutate them) while
+// the cache retains a pristine snapshot. This is the snapshot contract the
+// engine's memo plane relies on — AnalyzeWith already guarantees a Report
+// never aliases scratch memory, and Clone extends that to "never aliases
+// another Report".
+func (r Report) Clone() Report {
+	out := r
+	out.MC = r.MC.clone()
+	out.HARC = r.HARC.clone()
+	out.LARC = r.LARC.clone()
+	out.HC = r.HC.clone()
+	out.ME = r.ME.clone()
+	out.Suspicious = cloneBools(r.Suspicious)
+	out.Intervals = cloneIntervals(r.Intervals)
+	return out
+}
+
+func (c Curve) clone() Curve {
+	return Curve{X: cloneFloats(c.X), Y: cloneFloats(c.Y)}
+}
+
+func (r MCResult) clone() MCResult {
+	out := r
+	out.Curve = r.Curve.clone()
+	out.Peaks = cloneInts(r.Peaks)
+	// MCSegment is a pure value struct; copying the slice copies the data.
+	out.Segments = append([]MCSegment(nil), r.Segments...)
+	return out
+}
+
+func (r ARCResult) clone() ARCResult {
+	out := r
+	out.Curve = r.Curve.clone()
+	out.Peaks = cloneInts(r.Peaks)
+	out.Segments = append([]ARCSegment(nil), r.Segments...)
+	return out
+}
+
+func (r HCResult) clone() HCResult {
+	return HCResult{Curve: r.Curve.clone(), Intervals: cloneIntervals(r.Intervals)}
+}
+
+func (r MEResult) clone() MEResult {
+	return MEResult{Curve: r.Curve.clone(), Intervals: cloneIntervals(r.Intervals)}
+}
+
+func cloneFloats(xs []float64) []float64 { return append([]float64(nil), xs...) }
+func cloneInts(xs []int) []int           { return append([]int(nil), xs...) }
+func cloneBools(xs []bool) []bool        { return append([]bool(nil), xs...) }
+
+func cloneIntervals(ivs []Interval) []Interval { return append([]Interval(nil), ivs...) }

@@ -1,0 +1,62 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// TestReportCloneDeep pins the snapshot contract the engine's memo plane
+// relies on: a clone is structurally identical to the original and shares
+// none of its mutable memory, so mutating either side never leaks into the
+// other.
+func TestReportCloneDeep(t *testing.T) {
+	rng := stats.NewRNG(31)
+	var s dataset.Series
+	for i := 0; i < 120; i++ {
+		v := dataset.QuantizeHalfStar(1 + rng.NormFloat64())
+		if i > 60 && i < 90 {
+			v = 5 // a burst so segments, peaks and intervals are non-empty
+		}
+		s = append(s, dataset.Rating{Day: float64(i), Value: v, Rater: "r"})
+	}
+	s.Sort()
+	rep := Analyze(s, 120, DefaultConfig(), nil)
+	cl := rep.Clone()
+	if !reflect.DeepEqual(rep, cl) {
+		t.Fatal("clone differs structurally from the original")
+	}
+
+	// Mutate every slice in the clone; the original must not move.
+	orig := rep.Clone() // second pristine copy for comparison
+	mutate := func(f []float64) {
+		if len(f) > 0 {
+			f[0] += 100
+		}
+	}
+	mutate(cl.MC.Curve.Y)
+	mutate(cl.HARC.Curve.Y)
+	mutate(cl.LARC.Curve.Y)
+	mutate(cl.HC.Curve.Y)
+	mutate(cl.ME.Curve.Y)
+	if len(cl.Suspicious) > 0 {
+		cl.Suspicious[0] = !cl.Suspicious[0]
+	}
+	if len(cl.Intervals) > 0 {
+		cl.Intervals[0].Start -= 100
+	}
+	if len(cl.MC.Segments) > 0 {
+		cl.MC.Segments[0].Mean += 100
+	}
+	if len(cl.HARC.Peaks) > 0 {
+		cl.HARC.Peaks[0] += 100
+	}
+	if !reflect.DeepEqual(rep, orig) {
+		t.Fatal("mutating the clone changed the original — shallow copy somewhere")
+	}
+	if reflect.DeepEqual(rep, cl) {
+		t.Fatal("mutation did not take; test fixture produced empty report")
+	}
+}

@@ -31,7 +31,6 @@ import (
 	"context"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -51,6 +50,11 @@ type Engine struct {
 	// DisableTrustWeighting aggregates with equal weights instead of
 	// Eq. 7's max(T−0.5, 0) (ablation).
 	DisableTrustWeighting bool
+	// DisableMemo turns off the memo plane (see memo.go): every product is
+	// re-analyzed in every dirty epoch, as if no result were ever cached.
+	// Exists for the memo-on vs memo-off equivalence tests and as an
+	// operational escape hatch; output is bit-identical either way.
+	DisableMemo bool
 	// Workers bounds the per-product analysis parallelism within an epoch:
 	// 0 means GOMAXPROCS, 1 runs serially.
 	Workers int
@@ -99,33 +103,93 @@ func (e *Engine) Resume(ctx context.Context, st *EvalState, d *dataset.Dataset) 
 	// resume Procedure 1 from the newest surviving checkpoint. The working
 	// manager is a clone, so earlier checkpoints — and any previously
 	// returned Result — are never mutated.
+	//
+	// Each completed epoch also maintains the memo plane's trust-sameness
+	// cascade: once epoch ep completes, every memo entry recorded at ep is
+	// keyed against checkpoint ep (hits were verified against it, misses
+	// re-recorded under it), so trustSame[ep] becomes true. If additionally
+	// the incoming trust was unchanged (same) and the fresh fold equals the
+	// last completed run's fold (foldSame), the outgoing trust — the next
+	// checkpoint — is unchanged too, and the sameness cascades forward.
 	mgr := st.checkpoints[len(st.checkpoints)-1].Clone()
 	for ep := len(st.checkpoints) - 1; ep < n; ep++ {
-		if err := e.runEpoch(ctx, d, ep, mgr); err != nil {
+		same := st.trustSame[ep]
+		fold, err := e.runEpoch(ctx, d, ep, mgr, st, same)
+		if err != nil {
 			return nil, err
 		}
+		foldSame := st.folds[ep] != nil && foldsEqual(st.folds[ep], fold)
+		st.folds[ep] = fold
+		if !e.DisableMemo {
+			st.trustSame[ep] = true
+		}
+		for _, fc := range fold {
+			mgr.Observe(fc.rater, fc.n, fc.f)
+		}
 		st.checkpoints = append(st.checkpoints, mgr.Clone())
+		cascade := same && foldSame
+		st.trustSame[ep+1] = st.trustSame[ep+1] && cascade
+		if ep == n-1 {
+			st.finalConsistent = st.finalConsistent && cascade
+		}
 	}
 
 	// Stages 3+4 (final marks, Eq. 7 aggregation): an offline pass per
 	// product over the full series with the final trust, so an attack only
 	// visible once its end is in view is still filtered from the periods
-	// it poisoned. The final trust changes on virtually every new rating
-	// (the rating itself is judged), so this pass is not checkpointed —
-	// its cost is one analysis per product, a constant independent of the
-	// epoch count. Trust is read-only here, so products fan out freely.
+	// it poisoned. This pass is not checkpointed — but it is memoized: a
+	// product whose series version and rater-scoped final trust are
+	// unchanged replays its cached report and scores instead of
+	// re-analyzing, so a single late submit costs one product's analysis,
+	// not one per product. Trust is read-only here, so misses fan out
+	// freely over the pool while hits are resolved serially up front.
 	marks := make([][]bool, len(d.Products))
 	scores := make([][]float64, len(d.Products))
-	err := e.forEachProduct(ctx, len(d.Products), func(i int, sc *detect.Scratch) {
+	memos := make([]*productMemo, len(d.Products))
+	var work []int
+	for i := range d.Products {
+		prod := &d.Products[i]
+		if !e.DisableMemo {
+			if m := st.memoFor(prod); m != nil {
+				memos[i] = m
+				if mk, sc, ok := m.finalHit(len(prod.Ratings), mgr, st.finalConsistent); ok {
+					marks[i], scores[i] = mk, sc
+					memoHits.Add(1)
+					continue
+				}
+				memoMisses.Add(1)
+			}
+		}
+		work = append(work, i)
+	}
+	ents := make([]finalEntry, len(d.Products))
+	err := e.forEachProduct(ctx, len(work), func(k int, sc *detect.Scratch) {
+		i := work[k]
 		prod := &d.Products[i]
 		rep := detect.AnalyzeWith(prod.Ratings, d.HorizonDays, e.Detect, mgr, sc)
 		marks[i] = rep.Suspicious
 		scores[i] = e.aggregateProduct(prod.Ratings, rep.Suspicious, d.HorizonDays, mgr)
+		if memos[i] != nil {
+			ents[i] = newFinalEntry(memos[i].version, prod.Ratings, mgr, rep, scores[i])
+		}
 	})
 	if err != nil {
 		// The epoch checkpoints above are complete and remain valid; only
-		// this uncheckpointed final pass is abandoned.
+		// this uncheckpointed final pass is abandoned. No memo entry from
+		// the unfinished pass is committed (the commit below never runs),
+		// so the cache still describes completed work only.
 		return nil, err
+	}
+	// Commit the fresh final entries serially: productMemo is not
+	// goroutine-safe, and committing only after the pool fully succeeded
+	// keeps cancellation from publishing half a pass.
+	for _, i := range work {
+		if memos[i] != nil && ents[i].valid {
+			memos[i].final = ents[i]
+		}
+	}
+	if !e.DisableMemo {
+		st.finalConsistent = true
 	}
 
 	res := &Result{
@@ -146,65 +210,94 @@ type raterCounts struct{ n, f int }
 
 // runEpoch executes one trust epoch of Procedure 1: analyze every product's
 // prefix [0, end-of-epoch) under the trust at the epoch start, count each
-// rater's (observed, suspicious) ratings inside the epoch, and fold the
-// counts into mgr. Analysis fans out per product; the fold happens after
-// the pool drains, so mgr is read-only while workers run. On cancellation
-// the partially collected counts are discarded without touching mgr, so the
-// caller's trust state still describes a whole number of epochs.
-func (e *Engine) runEpoch(ctx context.Context, d *dataset.Dataset, ep int, mgr *trust.Manager) error {
+// rater's (observed, suspicious) ratings inside the epoch, and return the
+// merged per-rater counts in canonical sorted form (the caller folds them
+// into mgr, so mgr is read-only here and while workers run).
+//
+// Products whose (series prefix, rater-scoped trust) key matches their memo
+// entry replay the cached counts and skip analysis entirely; trustSame
+// short-circuits even the fingerprint work when the caller proved the whole
+// epoch-start snapshot unchanged. Hit checks and entry commits run serially
+// on either side of the pool — only misses fan out. On cancellation the
+// partially collected counts and entries are discarded without touching mgr
+// or the memo, so the caller's state still describes whole completed epochs.
+func (e *Engine) runEpoch(ctx context.Context, d *dataset.Dataset, ep int, mgr *trust.Manager, st *EvalState, trustSame bool) ([]raterFold, error) {
 	lo, hi := epoch.PeriodInterval(ep, d.HorizonDays)
-	perProduct := make([]map[string]raterCounts, len(d.Products))
-	err := e.forEachProduct(ctx, len(d.Products), func(i int, sc *detect.Scratch) {
+	perProduct := make([][]raterFold, len(d.Products))
+
+	memos := make([]*productMemo, len(d.Products))
+	var work []int
+	for i := range d.Products {
 		prod := &d.Products[i]
-		seen := prod.Ratings.Between(0, hi)
-		if len(seen) == 0 {
-			return
+		if !e.DisableMemo {
+			if m := st.memoFor(prod); m != nil {
+				memos[i] = m
+				start, end := prod.Ratings.BetweenIndex(0, hi)
+				if counts, ok := m.epochHit(ep, end-start, mgr, trustSame); ok {
+					perProduct[i] = counts
+					memoHits.Add(1)
+					continue
+				}
+				memoMisses.Add(1)
+			}
 		}
-		rep := detect.AnalyzeWith(seen, hi, e.Detect, mgr, sc)
-		var counts map[string]raterCounts
-		for j, r := range seen {
-			if r.Day < lo {
-				continue // earlier epoch already judged it
-			}
-			if counts == nil {
-				counts = make(map[string]raterCounts)
-			}
-			c := counts[r.Rater]
-			c.n++
-			if rep.Suspicious[j] {
-				c.f++
-			}
-			counts[r.Rater] = c
-		}
-		perProduct[i] = counts
-	})
-	if err != nil {
-		return err
+		work = append(work, i)
 	}
 
-	// Merge and fold. The merged counts are integers, so the merge order
-	// cannot change any total; the fold into the trust manager then walks
-	// raters in sorted order, making the bit-exactness of the per-epoch
-	// trust fold structural rather than an argument about commutativity.
-	total := make(map[string]raterCounts)
-	for _, counts := range perProduct {
-		for rater, c := range counts {
-			t := total[rater]
-			t.n += c.n
-			t.f += c.f
-			total[rater] = t
+	ents := make([]memoEntry, len(d.Products))
+	err := e.forEachProduct(ctx, len(work), func(k int, sc *detect.Scratch) {
+		i := work[k]
+		prod := &d.Products[i]
+		seen := prod.Ratings.Between(0, hi)
+		var counts map[string]raterCounts
+		if len(seen) > 0 {
+			rep := detect.AnalyzeWith(seen, hi, e.Detect, mgr, sc)
+			for j, r := range seen {
+				if r.Day < lo {
+					continue // earlier epoch already judged it
+				}
+				if counts == nil {
+					counts = make(map[string]raterCounts)
+				}
+				c := counts[r.Rater]
+				c.n++
+				if rep.Suspicious[j] {
+					c.f++
+				}
+				counts[r.Rater] = c
+			}
+			perProduct[i] = sortedFold(counts)
+		}
+		if memos[i] != nil {
+			ents[i] = newEpochEntry(memos[i].version, seen, mgr, perProduct[i])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Commit fresh entries serially after the whole pool succeeded (the
+	// memo is not goroutine-safe; a cancelled epoch publishes nothing).
+	for _, i := range work {
+		if memos[i] != nil && ents[i].valid {
+			memos[i].setEpoch(ep, ents[i])
 		}
 	}
-	raters := make([]string, 0, len(total))
-	for rater := range total {
-		raters = append(raters, rater)
+
+	// Merge. The merged counts are integers, so neither the worker
+	// schedule nor hit-vs-miss provenance can change any total; the
+	// canonical sorted return then makes the caller's fold walk raters in
+	// sorted order, keeping the per-epoch trust fold's bit-exactness
+	// structural rather than an argument about commutativity.
+	total := make(map[string]raterCounts)
+	for _, counts := range perProduct {
+		for _, fc := range counts {
+			t := total[fc.rater]
+			t.n += fc.n
+			t.f += fc.f
+			total[fc.rater] = t
+		}
 	}
-	sort.Strings(raters)
-	for _, rater := range raters {
-		c := total[rater]
-		mgr.Observe(rater, c.n, c.f)
-	}
-	return nil
+	return sortedFold(total), nil
 }
 
 // aggregateProduct computes one product's per-period scores (Eq. 7): marked
@@ -263,20 +356,46 @@ var (
 	poolSkipped  atomic.Uint64
 )
 
-// PoolStats is a snapshot of the worker-pool counters.
+// Memo-plane instrumentation: process-wide counters of cache lookups that
+// replayed a cached result (hits), fell through to analysis (misses), and
+// cached entries dropped because a product's series version moved
+// (invalidations). Unversioned products perform no lookups and count
+// nothing.
+var (
+	memoHits        atomic.Uint64
+	memoMisses      atomic.Uint64
+	memoInvalidated atomic.Uint64
+)
+
+// PoolStats is a snapshot of the worker-pool and memo-plane counters.
 type PoolStats struct {
 	// Analyzed counts products whose detector analysis ran to completion.
 	Analyzed uint64
 	// Skipped counts products abandoned because the evaluation's context
 	// was cancelled before their analysis started.
 	Skipped uint64
+	// MemoHits counts per-(product, epoch) and final-pass lookups served
+	// from the memo plane instead of re-analysis.
+	MemoHits uint64
+	// MemoMisses counts lookups that fell through to analysis (and, on
+	// success, re-recorded the entry).
+	MemoMisses uint64
+	// MemoInvalidated counts cached entries dropped because the product's
+	// series version changed.
+	MemoInvalidated uint64
 }
 
 // Stats returns the current process-wide worker-pool counters. Deltas
 // between two snapshots bound the work done in between; the absolute
 // values are cumulative since process start.
 func Stats() PoolStats {
-	return PoolStats{Analyzed: poolAnalyzed.Load(), Skipped: poolSkipped.Load()}
+	return PoolStats{
+		Analyzed:        poolAnalyzed.Load(),
+		Skipped:         poolSkipped.Load(),
+		MemoHits:        memoHits.Load(),
+		MemoMisses:      memoMisses.Load(),
+		MemoInvalidated: memoInvalidated.Load(),
+	}
 }
 
 // forEachProduct runs fn(i) for i in [0, n) over a bounded worker pool in

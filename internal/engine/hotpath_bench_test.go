@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/trust"
+)
+
+// Runtime counterparts of the //lint:hotpath annotations on the memo
+// fingerprint functions: the static gate proves they cannot allocate,
+// AllocsPerRun proves they did not. They run on every cache probe of every
+// epoch, so an allocation here would tax exactly the path the memo plane
+// exists to make cheap.
+
+func memoBenchFixture() (*trust.Manager, []string, []trust.Record) {
+	mgr := trust.NewManager()
+	raters := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	for i, r := range raters {
+		mgr.Observe(r, 10+i, i)
+	}
+	return mgr, raters, snapshotRecords(mgr, raters)
+}
+
+func TestFingerprintsAllocFree(t *testing.T) {
+	mgr, raters, recs := memoBenchFixture()
+	var sink uint64
+	if allocs := testing.AllocsPerRun(100, func() {
+		sink += seriesFingerprint(42, 1000)
+	}); allocs != 0 {
+		t.Errorf("seriesFingerprint: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		sink += trustFingerprint(mgr, raters)
+	}); allocs != 0 {
+		t.Errorf("trustFingerprint: %v allocs/op, want 0", allocs)
+	}
+	ok := true
+	if allocs := testing.AllocsPerRun(100, func() {
+		ok = ok && trustRecordsMatch(mgr, raters, recs)
+	}); allocs != 0 {
+		t.Errorf("trustRecordsMatch: %v allocs/op, want 0", allocs)
+	}
+	if !ok {
+		t.Error("trustRecordsMatch rejected its own snapshot")
+	}
+	_ = sink
+}
+
+func BenchmarkTrustFingerprint(b *testing.B) {
+	mgr, raters, _ := memoBenchFixture()
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += trustFingerprint(mgr, raters)
+	}
+	_ = sink
+}

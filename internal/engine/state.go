@@ -15,10 +15,32 @@ import (
 //
 // An EvalState is not safe for concurrent use; callers (internal/server)
 // serialize Resume/Invalidate under their own lock.
+//
+// Beyond the checkpoints the state carries the memo plane (see memo.go):
+// per-product caches of epoch folds and final-pass reports, plus the
+// bookkeeping that lets a Resume prove "the trust feeding epoch e is
+// unchanged since e last ran" without comparing managers:
+//
+//   - folds[e] is the canonical per-rater fold the last *completed* run of
+//     epoch e produced (nil if e never completed). Comparing the fresh fold
+//     against it detects "identical fold ⇒ outgoing trust unchanged".
+//   - trustSame[e] means checkpoint e's trust content equals the incoming
+//     trust of the last completed run of epoch e — i.e. every memo entry
+//     recorded at epoch e is keyed against the *current* checkpoint, so
+//     epoch e may skip even the rater-scoped fingerprint work. trustSame is
+//     deliberately NOT truncated by Invalidate: it describes the epochs'
+//     last completed runs, which invalidation does not rewrite.
+//   - finalConsistent is trustSame for the uncheckpointed final pass:
+//     the final entries were recorded under the current final trust.
 type EvalState struct {
 	horizon     float64
 	products    []string
 	checkpoints []*trust.Manager
+
+	memo            map[string]*productMemo
+	folds           [][]raterFold // one per epoch
+	trustSame       []bool        // one per epoch boundary (len = epochs+1)
+	finalConsistent bool
 }
 
 // NewState returns an empty state; the first Resume evaluates from scratch.
@@ -77,9 +99,18 @@ func (st *EvalState) matches(d *dataset.Dataset) bool {
 	return true
 }
 
-// reset rebinds the state to the dataset and discards all checkpoints.
+// reset rebinds the state to the dataset and discards all checkpoints and
+// memo state.
 func (st *EvalState) reset(d *dataset.Dataset) {
 	st.horizon = d.HorizonDays
 	st.products = d.ProductIDs()
 	st.checkpoints = []*trust.Manager{trust.NewManager()}
+	n := epoch.Periods(d.HorizonDays)
+	st.memo = make(map[string]*productMemo, len(d.Products))
+	st.folds = make([][]raterFold, n)
+	st.trustSame = make([]bool, n+1)
+	// Epoch 0's incoming trust is always the empty manager, so checkpoint 0
+	// trivially equals whatever epoch 0 last ran against.
+	st.trustSame[0] = true
+	st.finalConsistent = false
 }

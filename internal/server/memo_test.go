@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/engine"
+)
+
+// TestInspectMemoCounting pins the end-to-end memo contract behind the
+// /products/{id}/report counters: on a warmed service whose products share
+// no raters, submitting one rating makes exactly one product miss the
+// memo — once in the dirty epoch and once in the final pass — while every
+// other product replays from cache, and the report JSON carries the
+// counters.
+func TestInspectMemoCounting(t *testing.T) {
+	p := agg.NewPScheme()
+	p.Workers = 1
+	products := []string{"tv1", "tv2", "tv3", "tv4"}
+	svc, err := New(p, 90, products)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Disjoint raters per product, ratings in all three epochs.
+	for _, id := range products {
+		for i := 0; i < 24; i++ {
+			day := float64(i) * 89 / 24
+			if err := svc.Submit(ctx, id, fmt.Sprintf("%s-r%d", id, i), 4, day); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := svc.Scores(ctx, "tv1"); err != nil { // warm the memo
+		t.Fatal(err)
+	}
+
+	before := engine.Stats()
+	if err := svc.Submit(ctx, "tv2", "tv2-late", 1, 75); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Scores(ctx, "tv1"); err != nil {
+		t.Fatal(err)
+	}
+	after := engine.Stats()
+
+	if got := after.MemoMisses - before.MemoMisses; got != 2 {
+		t.Errorf("misses = %d, want 2 (touched product in dirty epoch + final pass)", got)
+	}
+	if got := after.MemoHits - before.MemoHits; got != 6 {
+		t.Errorf("hits = %d, want 6 (3 untouched products × {dirty epoch, final pass})", got)
+	}
+	if got := after.Analyzed - before.Analyzed; got != 2 {
+		t.Errorf("analyses = %d, want 2 — one submit must cost O(changed product)", got)
+	}
+
+	// The counters surface through the inspect endpoint's JSON.
+	rw := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/products/tv2/report", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("report status = %d", rw.Code)
+	}
+	var rep Report
+	if err := json.Unmarshal(rw.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Memo == nil {
+		t.Fatal("report JSON missing memo counters")
+	}
+	if rep.Memo.Hits != after.MemoHits || rep.Memo.Misses != after.MemoMisses ||
+		rep.Memo.Invalidations != after.MemoInvalidated {
+		t.Errorf("report memo = %+v, want engine stats %+v", rep.Memo, after)
+	}
+}

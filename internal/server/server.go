@@ -395,6 +395,19 @@ type Report struct {
 	// panicked) and Scores is the last successfully computed table —
 	// degraded service rather than no service.
 	Stale bool `json:"stale,omitempty"`
+	// Memo reports the engine memo plane's cache counters (P-scheme only).
+	Memo *MemoStats `json:"memo,omitempty"`
+}
+
+// MemoStats mirrors the engine's process-wide memo-plane counters: lookups
+// served from cache, lookups that fell through to analysis, and cached
+// entries dropped because a product's series changed. The values are
+// cumulative since process start, so operators diff successive reports the
+// same way the deterministic counting tests do.
+type MemoStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
 }
 
 // Inspect returns the defense report for a product. Suspicious-mark data
@@ -421,6 +434,12 @@ func (s *Service) Inspect(ctx context.Context, product string) (Report, error) {
 			if m {
 				rep.Suspicious++
 			}
+		}
+		es := engine.Stats()
+		rep.Memo = &MemoStats{
+			Hits:          es.MemoHits,
+			Misses:        es.MemoMisses,
+			Invalidations: es.MemoInvalidated,
 		}
 	}
 	return rep, nil

@@ -27,7 +27,9 @@ func BenchmarkShardRoute(b *testing.B) {
 // With one shard every submission serializes on the same mutex and fsync
 // pipeline (here: no WAL, so just the mutex); with more shards the
 // goroutines spread across independent locks and the per-op cost drops as
-// contention does. Recorded ns-only in BENCH_store.json: RunParallel's
+// contention does. Allocations are reported (the copy-on-write
+// Series.Insert is exactly presized, one slice per submit plus the rater
+// string) but the BENCH_store.json baseline stays ns-only: RunParallel's
 // worker bookkeeping allocates inside the measured window, which at CI's
 // -benchtime=1x would swamp allocs/op.
 func BenchmarkSubmitParallel(b *testing.B) {
@@ -40,6 +42,7 @@ func BenchmarkSubmitParallel(b *testing.B) {
 			}
 			ctx := context.Background()
 			var workers, raters atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				// Each goroutine submits to its own product, so goroutines

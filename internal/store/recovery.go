@@ -312,7 +312,8 @@ func (st *Store) applyRecovered(i int, product, rater string, value, day float64
 	}
 	sh.seen[product][rater] = true
 	p := &sh.data.Products[l.pos]
-	p.Ratings = p.Ratings.Merge(dataset.Series{{Day: day, Value: value, Rater: rater}})
+	p.Ratings = p.Ratings.Insert(dataset.Rating{Day: day, Value: value, Rater: rater})
+	p.Version++
 	if day < sh.dirtyFrom {
 		sh.dirtyFrom = day
 	}

@@ -87,7 +87,8 @@ func (sh *shard) submit(ctx context.Context, pos int, product, rater string, val
 
 	sh.mu.Lock()
 	p := &sh.data.Products[pos]
-	p.Ratings = p.Ratings.Merge(dataset.Series{{Day: day, Value: value, Rater: rater}})
+	p.Ratings = p.Ratings.Insert(dataset.Rating{Day: day, Value: value, Rater: rater})
+	p.Version++
 	if day < sh.dirtyFrom {
 		sh.dirtyFrom = day
 	}
