@@ -36,8 +36,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,6 +48,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -71,8 +73,16 @@ func main() {
 		rateLimit    = flag.Float64("rate-limit", 0, "per-client sustained requests/second, 4x burst (0 = unlimited)")
 		breakerMS    = flag.Int("fsync-breaker-ms", 250, "fsync latency that trips the WAL breaker into pending-durability acks (0 = never)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on shutdown")
+		debugAddr    = flag.String("debug-addr", "", "optional second listener serving /metrics and /debug/pprof/* (empty = disabled; /metrics is always on the main listener)")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	)
 	flag.Parse()
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratingserver:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl)
 	if err := run(config{
 		addr: *addr, scheme: *scheme, products: *products, horizon: *horizon,
 		seedHist: *seedHist, seed: *seed,
@@ -80,8 +90,11 @@ func main() {
 		workers: *workers, shards: *shards,
 		maxInflight: *maxInflight, queueDepth: *queueDepth, rateLimit: *rateLimit,
 		breakerMS: *breakerMS, drainTimeout: *drainTimeout,
+		debugAddr: *debugAddr,
+		logger:    logger, obsReg: obs.NewRegistry(),
 	}); err != nil {
-		log.Fatal("ratingserver: ", err)
+		logger.Error("ratingserver exiting", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -105,6 +118,21 @@ type config struct {
 	rateLimit    float64
 	breakerMS    int
 	drainTimeout time.Duration
+	debugAddr    string
+
+	// logger and obsReg are the observability plane, injected by main. Both
+	// may be nil (tests): a nil registry disables metrics, and log() falls
+	// back to a discarding logger.
+	logger *obs.Logger
+	obsReg *obs.Registry
+}
+
+// log returns the config's structured logger, never nil.
+func (c config) log() *obs.Logger {
+	if c.logger != nil {
+		return c.logger
+	}
+	return obs.NewLogger(io.Discard, obs.LevelError)
 }
 
 // buildService assembles the rating service from the CLI parameters; split
@@ -151,14 +179,16 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 			return nil, nil, err
 		}
 		recovered = rep.SnapshotRatings + rep.ReplayedRatings
-		log.Printf("recovered %d ratings from %s across %d shards (%d from snapshot, %d replayed, %d duplicate, %d skipped, %d torn bytes truncated)",
-			recovered, cfg.walDir, shards, rep.SnapshotRatings, rep.ReplayedRatings,
-			rep.DuplicateRecords, rep.SkippedRecords, rep.TruncatedBytes)
+		cfg.log().Info("recovered ratings from WAL",
+			"ratings", recovered, "dir", cfg.walDir, "shards", shards,
+			"snapshot", rep.SnapshotRatings, "replayed", rep.ReplayedRatings,
+			"duplicate", rep.DuplicateRecords, "skipped", rep.SkippedRecords,
+			"tornBytes", rep.TruncatedBytes)
 		if rep.MigratedFromLegacy {
-			log.Printf("migrated legacy single-stream WAL at %s to the %d-shard layout", cfg.walDir, shards)
+			cfg.log().Info("migrated legacy single-stream WAL to sharded layout", "dir", cfg.walDir, "shards", shards)
 		}
 		for _, reason := range rep.SkipReasons {
-			log.Printf("recovery skipped: %s", reason)
+			cfg.log().Warn("recovery skipped record", "reason", reason)
 		}
 	} else {
 		svc, err = server.NewSharded(scheme, cfg.horizon, ids, shards)
@@ -166,11 +196,15 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 			return nil, nil, err
 		}
 	}
-	svc.SetLogger(log.Default())
+	// The service's operational log (request lines, recompute failures)
+	// flows through the structured logger at info level; metrics register
+	// before the handler is built so the /metrics route exists.
+	svc.SetLogger(cfg.log().Std(obs.LevelInfo))
+	svc.EnableMetrics(cfg.obsReg)
 
 	// Seeding replaces all ratings, so never clobber recovered history.
 	if cfg.seedHist && recovered > 0 {
-		log.Printf("WAL holds %d ratings; ignoring -seed-history", recovered)
+		cfg.log().Warn("WAL holds ratings; ignoring -seed-history", "ratings", recovered)
 	} else if cfg.seedHist {
 		gcfg := dataset.DefaultFairConfig()
 		gcfg.Products = len(ids)
@@ -188,18 +222,20 @@ func buildService(cfg config) (*server.Service, agg.Scheme, error) {
 			svc.Close()
 			return nil, nil, err
 		}
-		log.Printf("seeded synthetic history for %d products", len(ids))
+		cfg.log().Info("seeded synthetic history", "products", len(ids))
 	}
 	return svc, scheme, nil
 }
 
 // buildHandler wraps the service handler with admission control per the
-// CLI parameters. Health probes are exempt: a saturated instance must keep
-// answering /healthz and /readyz or the balancer drains exactly the
-// instances carrying the load.
+// CLI parameters. Health probes and /metrics are exempt: a saturated
+// instance must keep answering /healthz and /readyz (or the balancer
+// drains exactly the instances carrying the load) and must stay
+// observable — the scrape that explains an overload cannot be a casualty
+// of it.
 func buildHandler(svc *server.Service, cfg config) http.Handler {
 	opts := resilience.AdmissionOptions{
-		ExemptPaths: map[string]bool{"/healthz": true, "/readyz": true},
+		ExemptPaths: map[string]bool{"/healthz": true, "/readyz": true, "/metrics": true},
 	}
 	if cfg.maxInflight > 0 {
 		opts.Limiter = resilience.NewLimiter(cfg.maxInflight, cfg.queueDepth)
@@ -210,7 +246,23 @@ func buildHandler(svc *server.Service, cfg config) http.Handler {
 	if opts.Limiter == nil && opts.Rate == nil {
 		return svc.Handler()
 	}
+	opts.Metrics = resilience.NewAdmissionMetrics(cfg.obsReg, opts.Limiter, opts.Rate)
 	return resilience.Admission(svc.Handler(), opts)
+}
+
+// buildDebugHandler serves the opt-in -debug-addr listener: the metrics
+// registry plus net/http/pprof's profiling endpoints. The pprof handlers
+// are registered explicitly on a private mux — importing net/http/pprof
+// touches only http.DefaultServeMux, which this binary never serves.
+func buildDebugHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func run(cfg config) error {
@@ -247,25 +299,47 @@ func run(cfg config) error {
 		done <- httpServer.Shutdown(shutdownCtx)
 	}()
 
+	// The debug listener (pprof + metrics) is a second, private server: it
+	// binds loopback in practice and skips admission control entirely, so a
+	// stuck or saturated main listener never blocks a profile grab.
+	var debugServer *http.Server
+	if cfg.debugAddr != "" && cfg.obsReg != nil {
+		debugServer = &http.Server{
+			Addr:              cfg.debugAddr,
+			Handler:           buildDebugHandler(cfg.obsReg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			cfg.log().Info("debug listener serving /metrics and /debug/pprof/", "addr", cfg.debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				cfg.log().Error("debug listener failed", "addr", cfg.debugAddr, "err", err)
+			}
+		}()
+	}
+
 	durability := "in-memory, no WAL"
 	if cfg.walDir != "" {
 		durability = fmt.Sprintf("WAL %s, sync-every %d, snapshot-every %d", cfg.walDir, cfg.syncEvery, cfg.snapshotEvery)
 	}
-	log.Printf("serving %s-scheme rating aggregation on %s (%d products, %d shards, %.0f-day horizon, %s)",
-		scheme.Name(), cfg.addr, len(ids), svc.Shards(), cfg.horizon, durability)
+	cfg.log().Info("serving rating aggregation",
+		"scheme", scheme.Name(), "addr", cfg.addr, "products", len(ids),
+		"shards", svc.Shards(), "horizonDays", cfg.horizon, "durability", durability)
 	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		svc.Close()
 		return err
 	}
 	shutdownErr := <-done
+	if debugServer != nil {
+		debugServer.Close()
+	}
 	// Flush and close the WAL only after in-flight requests drained, so an
 	// orderly stop never loses acknowledged ratings.
 	if err := svc.Close(); err != nil {
-		log.Printf("wal close: %v", err)
+		cfg.log().Error("wal close failed", "err", err)
 		if shutdownErr == nil {
 			shutdownErr = err
 		}
 	}
-	log.Printf("shutdown complete")
+	cfg.log().Info("shutdown complete")
 	return shutdownErr
 }

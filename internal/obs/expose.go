@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one `# HELP` and `# TYPE` line per
+// family, families sorted by name, children in registration order.
+// Histograms expose cumulative `_bucket{le="..."}` series (each bucket
+// counts observations <= its bound, ending in le="+Inf" == `_count`),
+// plus `_sum` and `_count`.
+//
+// Values are read through the same atomics the hot paths write, so a
+// scrape concurrent with traffic sees a live (per-series consistent)
+// snapshot; the registry lock is held only to walk the family list, never
+// by writers.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	copy(fams, r.order)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, c := range f.children {
+			switch f.typ {
+			case typeHistogram:
+				writeHistogram(bw, f, c)
+			case typeCounter:
+				writeSample(bw, f.name, "", c.labels, "", c.ctr.Value())
+			case typeGauge:
+				writeSample(bw, f.name, "", c.labels, "", c.gauge.Value())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one child's cumulative buckets, sum and count.
+// Bucket counts are read once into a local slice so the cumulative sums
+// are monotone even while writers race the scrape.
+func writeHistogram(bw *bufio.Writer, f *family, c *child) {
+	h := c.hist
+	cum := uint64(0)
+	for i := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeSample(bw, f.name+"_bucket", "le", c.labels, formatFloat(h.bounds[i]), float64(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeSample(bw, f.name+"_bucket", "le", c.labels, "+Inf", float64(cum))
+	writeSample(bw, f.name+"_sum", "", c.labels, "", h.Sum())
+	writeSample(bw, f.name+"_count", "", c.labels, "", float64(cum))
+}
+
+// writeSample renders one `name{labels} value` line, appending an extra
+// label (the histogram `le`) when extraName is non-empty.
+func writeSample(bw *bufio.Writer, name, extraName string, labels []Label, extraValue string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(extraValue)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// with the spellings Prometheus expects for the infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are legal
+// in help text).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// Handler returns the /metrics endpoint: the registry in text exposition
+// format. Scrapes are read-only and lock-free with respect to the metric
+// hot paths, so the endpoint is safe to leave on a production listener
+// (and is exempted from admission control by cmd/ratingserver, like the
+// health probes — an overloaded instance must stay observable).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The write goes to a local buffer inside WritePrometheus's
+		// bufio.Writer; an error here means the client went away.
+		_ = r.WritePrometheus(w)
+	})
+}

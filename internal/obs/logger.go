@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Records below a logger's minimum level are
+// dropped before any formatting work.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel parses "debug", "info", "warn", or "error".
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Logger is a leveled, structured (logfmt) logger:
+//
+//	ts=2026-08-08T12:00:00.000Z level=info msg="recovered ratings" count=42 shards=8
+//
+// Keys and values arrive as alternating pairs; values are rendered with %v
+// and quoted when they contain spaces, quotes, or '='. Derived loggers
+// (With) carry pre-rendered fields — the request-ID pattern: the HTTP
+// middleware derives one logger per request with req=<id> attached, so
+// every line of a request's handling correlates.
+//
+// A Logger is safe for concurrent use; each record is written in one Write
+// call so lines from concurrent goroutines never interleave mid-line.
+type Logger struct {
+	mu  *sync.Mutex
+	w   io.Writer
+	min *atomic.Int32
+	now func() time.Time
+	// fields is the pre-rendered " k=v ..." suffix from With.
+	fields string
+}
+
+// NewLogger returns a logger writing records at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{mu: &sync.Mutex{}, w: w, min: &atomic.Int32{}, now: time.Now}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum level (safe concurrently with logging).
+func (l *Logger) SetLevel(min Level) { l.min.Store(int32(min)) }
+
+// SetClock overrides the timestamp source (tests).
+func (l *Logger) SetClock(now func() time.Time) { l.now = now }
+
+// With returns a derived logger that appends the given key/value pairs to
+// every record. The derived logger shares the parent's writer, lock, and
+// level.
+func (l *Logger) With(kv ...any) *Logger {
+	var b strings.Builder
+	b.WriteString(l.fields)
+	appendFields(&b, kv)
+	return &Logger{mu: l.mu, w: l.w, min: l.min, now: l.now, fields: b.String()}
+}
+
+// Enabled reports whether records at lv would be written.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= Level(l.min.Load())
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+// Printf logs a printf-formatted message at LevelInfo. It adapts the
+// logger to the `func(format string, args ...any)` operational-log hooks
+// threaded through the server and store.
+func (l *Logger) Printf(format string, args ...any) {
+	l.log(LevelInfo, fmt.Sprintf(format, args...), nil)
+}
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteIfNeeded(msg))
+	b.WriteString(l.fields)
+	appendFields(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}
+
+// appendFields renders alternating key/value pairs. A trailing key without
+// a value is rendered as key=MISSING rather than dropped — a malformed call
+// site should be visible in the logs, not silent.
+func appendFields(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprintf("%v", kv[i]))
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(quoteIfNeeded(fmt.Sprintf("%v", kv[i+1])))
+		} else {
+			b.WriteString("MISSING")
+		}
+	}
+}
+
+// quoteIfNeeded quotes a rendered value when it would break logfmt parsing:
+// empty, or containing spaces, quotes, '=', or control characters.
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '=' || c == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// stdWriter adapts a Logger into an io.Writer for the standard library's
+// log.Logger: each Write becomes one record at a fixed level, with the
+// trailing newline stripped. This is how legacy `*log.Logger` hooks
+// (server.SetLogger) are pointed at the structured plane.
+type stdWriter struct {
+	l  *Logger
+	lv Level
+}
+
+func (w stdWriter) Write(p []byte) (int, error) {
+	w.l.log(w.lv, strings.TrimRight(string(p), "\n"), nil)
+	return len(p), nil
+}
+
+// Std returns a standard-library logger whose output flows through l at
+// the given level, for APIs that accept only *log.Logger.
+func (l *Logger) Std(lv Level) *log.Logger {
+	return log.New(stdWriter{l: l, lv: lv}, "", 0)
+}
+
+// reqSeq numbers requests within this process for log correlation.
+var reqSeq atomic.Uint64
+
+// NextRequestID returns a short process-unique request ID ("r000001").
+// IDs are sequential: cheap, collision-free within a process, and sortable
+// in logs; cross-process uniqueness comes from the operator's log labels.
+func NextRequestID() string {
+	return fmt.Sprintf("r%06d", reqSeq.Add(1))
+}

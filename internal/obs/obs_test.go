@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %v, want 5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Errorf("gauge = %v, want -1", got)
+	}
+}
+
+func TestRegistryDedupAndNilSafety(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h", L("k", "v"))
+	b := r.Counter("dup_total", "h", L("k", "v"))
+	if a != b {
+		t.Error("same name+labels returned distinct handles")
+	}
+	other := r.Counter("dup_total", "h", L("k", "w"))
+	if a == other {
+		t.Error("distinct labels returned the same handle")
+	}
+
+	// Nil registry and nil handles are the no-op plane.
+	var nilReg *Registry
+	nc := nilReg.Counter("x_total", "h")
+	nc.Inc()
+	ng := nilReg.Gauge("x", "h")
+	ng.Set(3)
+	nh := nilReg.Histogram("x_seconds", "h", LatencyBuckets)
+	nh.Observe(0.1)
+	nilReg.GaugeFunc("f", "h", func() float64 { return 1 })
+	if err := nilReg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 || nh.Sum() != 0 {
+		t.Error("nil handles recorded something")
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+1+5+100; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	// Bucket boundaries are inclusive: 0.1 lands in le="0.1".
+	want := []uint64{2, 2, 1, 1} // (..0.1], (0.1..1], (1..10], (10..+Inf)
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramUnsortedBoundsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	r.Histogram("bad", "h", []float64{1, 0.5})
+}
+
+// TestWritePrometheusGolden pins the full text exposition format — HELP and
+// TYPE lines, family sorting, cumulative histogram buckets ending in
+// le="+Inf", _sum/_count, label escaping — against a golden file.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("http_requests_total", "Requests served.", L("route", "submit"), L("class", "2xx"))
+	c.Add(12)
+	c2 := r.Counter("http_requests_total", "Requests served.", L("route", "submit"), L("class", "5xx"))
+	c2.Add(1)
+	g := r.Gauge("wal_breaker_open", "1 while the fsync breaker is open.", L("shard", "0"))
+	g.Set(1)
+	r.GaugeFunc("engine_memo_hits", "Memo lookups served from cache.", func() float64 { return 41 })
+	r.CounterFunc("admission_admitted_total", "Requests admitted.", func() float64 { return 7 })
+	h := r.Histogram("wal_fsync_seconds", "Fsync latency.", []float64{0.001, 0.01, 0.1}, L("shard", "0"))
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	// Label escaping: backslash, quote, newline.
+	e := r.Counter("escape_total", "Escaping.", L("path", `C:\tmp "x"`+"\nnext"))
+	e.Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramCumulativity asserts the exposed buckets are monotone
+// non-decreasing and that le="+Inf" equals _count.
+func TestHistogramCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "h", LatencyBuckets)
+	for i := 0; i < 500; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	infSeen, count := -1.0, -1.0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		var v float64
+		switch {
+		case strings.HasPrefix(line, "lat_seconds_bucket"):
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if v < last {
+				t.Errorf("bucket not cumulative: %q after %g", line, last)
+			}
+			last = v
+			if strings.Contains(line, `le="+Inf"`) {
+				infSeen = v
+			}
+		case strings.HasPrefix(line, "lat_seconds_count"):
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &count); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+		}
+	}
+	if infSeen != 500 || count != 500 {
+		t.Errorf("le=+Inf bucket = %v, count = %v, want 500", infSeen, count)
+	}
+}
+
+// TestConcurrentScrape races writers against WritePrometheus; run under
+// -race this proves the hot paths and the scrape share no unsynchronized
+// state, and the final totals prove no increment was lost.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("races_total", "h")
+	h := r.Histogram("races_seconds", "h", LatencyBuckets)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %v, want %d", got, workers*perWorker)
+	}
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.SetClock(func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) })
+	l.Info("recovered ratings", "count", 42, "dir", "/tmp/wal dir")
+	want := `ts=2026-08-08T12:00:00.000Z level=info msg="recovered ratings" count=42 dir="/tmp/wal dir"` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("log line:\n got %q\nwant %q", got, want)
+	}
+
+	buf.Reset()
+	l.Debug("dropped", "k", "v")
+	if buf.Len() != 0 {
+		t.Errorf("debug below min level written: %q", buf.String())
+	}
+
+	buf.Reset()
+	l.SetLevel(LevelDebug)
+	l.Debug("kept")
+	if !strings.Contains(buf.String(), "level=debug msg=kept") {
+		t.Errorf("debug line = %q", buf.String())
+	}
+
+	// Odd trailing key is visible, not dropped.
+	buf.Reset()
+	l.Warn("odd", "alone")
+	if !strings.Contains(buf.String(), "alone=MISSING") {
+		t.Errorf("odd field = %q", buf.String())
+	}
+}
+
+func TestLoggerWithAndStd(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.SetClock(func() time.Time { return time.Unix(0, 0).UTC() })
+	rl := l.With("req", "r000042")
+	rl.Info("served", "status", 200)
+	if !strings.Contains(buf.String(), ` req=r000042 status=200`) {
+		t.Errorf("derived fields missing: %q", buf.String())
+	}
+
+	buf.Reset()
+	std := l.Std(LevelWarn)
+	std.Printf("legacy %s line", "printf")
+	got := buf.String()
+	if !strings.Contains(got, "level=warn") || !strings.Contains(got, `msg="legacy printf line"`) {
+		t.Errorf("std adapter line = %q", got)
+	}
+	if strings.Contains(got, "\n\n") || strings.Count(got, "\n") != 1 {
+		t.Errorf("newline handling wrong: %q", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		s    string
+		want Level
+	}{{"debug", LevelDebug}, {"INFO", LevelInfo}, {"warning", LevelWarn}, {"error", LevelError}}
+	for _, c := range cases {
+		got, err := ParseLevel(c.s)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, %v", c.s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestNextRequestID(t *testing.T) {
+	a, b := NextRequestID(), NextRequestID()
+	if a == b || !strings.HasPrefix(a, "r") {
+		t.Errorf("request IDs: %q, %q", a, b)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"time"
 )
 
 // AdmissionOptions configures the Admission middleware. Both limiters are
@@ -23,6 +24,9 @@ type AdmissionOptions struct {
 	// RetryAfter is the Retry-After header value on 429/503 responses;
 	// defaults to "1".
 	RetryAfter string
+	// Metrics holds the layer's observability handles (queue wait, shed
+	// counts); the zero value records nothing. See NewAdmissionMetrics.
+	Metrics AdmissionMetrics
 }
 
 // ClientKey is the default KeyFunc: the X-API-Key header when present,
@@ -60,14 +64,18 @@ func Admission(next http.Handler, opts AdmissionOptions) http.Handler {
 			return
 		}
 		if opts.Rate != nil && !opts.Rate.Allow(keyFunc(r)) {
+			opts.Metrics.ShedRateLimited.Inc()
 			shed(w, http.StatusTooManyRequests, "client rate limit exceeded", retryAfter)
 			return
 		}
 		if opts.Limiter != nil {
+			start := time.Now()
 			if err := opts.Limiter.Acquire(r.Context()); err != nil {
+				opts.Metrics.ShedCapacity.Inc()
 				shed(w, http.StatusServiceUnavailable, "server at capacity: "+err.Error(), retryAfter)
 				return
 			}
+			opts.Metrics.QueueWaitSeconds.Observe(time.Since(start).Seconds())
 			defer opts.Limiter.Release()
 		}
 		next.ServeHTTP(w, r)

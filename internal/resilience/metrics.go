@@ -1,0 +1,61 @@
+package resilience
+
+import "repro/internal/obs"
+
+// AdmissionMetrics holds the admission layer's hot-path observability
+// handles. Every field is optional: nil handles record nothing, so an
+// uninstrumented Admission chain pays one nil check per event.
+type AdmissionMetrics struct {
+	// QueueWaitSeconds observes how long each admitted request waited in
+	// Acquire — near zero while a slot is free, the queueing delay under
+	// saturation.
+	QueueWaitSeconds *obs.Histogram
+	// ShedRateLimited counts 429s (per-client token bucket exhausted).
+	ShedRateLimited *obs.Counter
+	// ShedCapacity counts 503s (concurrency budget and wait queue full, or
+	// the caller's deadline expired while queued).
+	ShedCapacity *obs.Counter
+}
+
+// NewAdmissionMetrics registers the admission layer's metrics with reg and
+// returns the hot-path handles for AdmissionOptions.Metrics. The limiter
+// and rate limiter already keep cumulative counters behind their Stats()
+// snapshots, so those export as scrape-time callbacks — they cost nothing
+// until /metrics is read. l and r may be nil (matching AdmissionOptions);
+// a nil reg returns zero-valued (no-op) metrics.
+func NewAdmissionMetrics(reg *obs.Registry, l *Limiter, r *RateLimiter) AdmissionMetrics {
+	if reg == nil {
+		return AdmissionMetrics{}
+	}
+	m := AdmissionMetrics{
+		QueueWaitSeconds: reg.Histogram("admission_queue_wait_seconds", "Time admitted requests spent waiting for a concurrency slot.", obs.LatencyBuckets),
+		ShedRateLimited:  reg.Counter("admission_shed_total", "Requests shed by admission control, by reason.", obs.L("reason", "rate_limited")),
+		ShedCapacity:     reg.Counter("admission_shed_total", "Requests shed by admission control, by reason.", obs.L("reason", "capacity")),
+	}
+	if l != nil {
+		reg.GaugeFunc("admission_inflight", "Requests currently holding a concurrency slot.", func() float64 {
+			return float64(l.Stats().Inflight)
+		})
+		reg.GaugeFunc("admission_queued", "Requests currently waiting FIFO for a slot.", func() float64 {
+			return float64(l.Stats().Queued)
+		})
+		reg.GaugeFunc("admission_peak_queue", "Deepest the wait queue has been.", func() float64 {
+			return float64(l.Stats().PeakQueue)
+		})
+		reg.CounterFunc("admission_admitted_total", "Requests admitted through the concurrency limiter.", func() float64 {
+			return float64(l.Stats().Admitted)
+		})
+		reg.CounterFunc("admission_handoffs_total", "Slots handed directly to a queued waiter on release.", func() float64 {
+			return float64(l.Stats().Handoffs)
+		})
+	}
+	if r != nil {
+		reg.GaugeFunc("ratelimit_keys", "Live per-client token buckets.", func() float64 {
+			return float64(r.Stats().Keys)
+		})
+		reg.CounterFunc("ratelimit_denied_total", "Requests denied by the per-client rate limiter.", func() float64 {
+			return float64(r.Stats().Denied)
+		})
+	}
+	return m
+}

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -90,7 +91,11 @@ func (r *RateLimiter) Allow(key string) bool {
 // dropping them cannot grant anyone extra tokens. Runs at most once per
 // idle window, only on the new-key path, so steady-state Allow stays O(1).
 func (r *RateLimiter) sweepLocked(now time.Time) {
-	idle := time.Duration(r.burst / r.rate * float64(time.Second))
+	// Round the refill window UP to whole nanoseconds: truncation would let
+	// a bucket be pruned (and resurrect with a full burst) up to 1ns before
+	// it had actually refilled — a hairline over-grant, but one the sweep's
+	// "cannot grant anyone extra tokens" invariant must not have.
+	idle := time.Duration(math.Ceil(r.burst / r.rate * float64(time.Second)))
 	if idle < idleFloor {
 		idle = idleFloor
 	}

@@ -1,0 +1,105 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRateLimiterSweepBoundary pins the idle-sweep threshold at the exact
+// refill instant. The refill window burst/rate is 100/0.9 ≈ 111.1̄ seconds —
+// not a whole number of nanoseconds — and the old threshold truncated it:
+// a fully drained bucket could be pruned (and the key resurrected with a
+// full burst) at the truncated instant, a hair before it had actually
+// refilled, granting the client one token it never waited for. The
+// threshold now rounds up, so at the truncated instant the bucket must
+// survive (and re-grant only the 99 tokens that really accrued), while one
+// nanosecond later — the ceil — it is sweepable.
+func TestRateLimiterSweepBoundary(t *testing.T) {
+	var (
+		rate  = 0.9
+		burst = 100.0
+	)
+	// The truncated window, computed with the same float expression the
+	// sweep uses; the correct threshold is one nanosecond later.
+	trunc := time.Duration(burst / rate * float64(time.Second))
+	if trunc == time.Duration(int64(burst/rate))*time.Second {
+		t.Fatalf("window %v is a whole second; pick parameters with a fractional-ns window", trunc)
+	}
+	t0 := time.Unix(1000, 0)
+
+	drain := func(r *RateLimiter, key string) {
+		t.Helper()
+		for i := 0; i < int(burst); i++ {
+			if !r.Allow(key) {
+				t.Fatalf("burst allow %d denied", i)
+			}
+		}
+		if r.Allow(key) {
+			t.Fatal("drained bucket allowed")
+		}
+	}
+
+	t.Run("no resurrection at the truncated instant", func(t *testing.T) {
+		r := NewRateLimiter(rate, burst)
+		now := t0
+		r.SetClock(func() time.Time { return now })
+		drain(r, "A")
+
+		// Exactly the old (truncated) threshold after the drain: the bucket
+		// has refilled 99.99…9 tokens, not 100, so it must not be swept.
+		now = t0.Add(trunc)
+		r.Allow("B") // new key: the only path that triggers a sweep
+		r.mu.Lock()
+		_, survived := r.buckets["A"]
+		r.mu.Unlock()
+		if !survived {
+			t.Fatal("bucket pruned before its refill completed")
+		}
+		// And the surviving bucket grants exactly the 99 whole tokens that
+		// actually accrued — a pruned-and-recreated bucket would grant 100.
+		granted := 0
+		for i := 0; i < int(burst); i++ {
+			if r.Allow("A") {
+				granted++
+			}
+		}
+		if granted != int(burst)-1 {
+			t.Errorf("granted %d tokens at the truncated instant, want %d", granted, int(burst)-1)
+		}
+	})
+
+	t.Run("sweepable one nanosecond later", func(t *testing.T) {
+		r := NewRateLimiter(rate, burst)
+		now := t0
+		r.SetClock(func() time.Time { return now })
+		drain(r, "A")
+
+		now = t0.Add(trunc + 1) // the ceil: refill is complete
+		r.Allow("B")
+		r.mu.Lock()
+		_, survived := r.buckets["A"]
+		r.mu.Unlock()
+		if survived {
+			t.Error("fully refilled idle bucket not pruned at the rounded-up threshold")
+		}
+	})
+
+	t.Run("whole-nanosecond window is not delayed", func(t *testing.T) {
+		// 90/1 s is exact in nanoseconds: ceil must be a no-op and the
+		// bucket sweepable at precisely the refill instant.
+		r := NewRateLimiter(1, 90)
+		now := t0
+		r.SetClock(func() time.Time { return now })
+		if !r.Allow("A") {
+			t.Fatal("first allow denied")
+		}
+		now = t0.Add(90 * time.Second)
+		r.Allow("B")
+		r.mu.Lock()
+		_, survived := r.buckets["A"]
+		r.mu.Unlock()
+		if survived {
+			t.Error("exactly-refilled bucket not pruned at its refill instant")
+		}
+	})
+}

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // maxSubmitBody bounds POST /ratings bodies. A rating submission is a
@@ -36,23 +39,41 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /raters/{id}/trust", s.handleTrust)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if reg := s.metricsRegistry(); reg != nil {
+		// GET /metrics — Prometheus text exposition of the registry handed
+		// to EnableMetrics. Scrapes are lock-free with respect to request
+		// recording, so the endpoint stays live under saturation.
+		mux.Handle("GET /metrics", reg.Handler())
+	}
 	return s.middleware(mux)
 }
 
-// statusWriter captures the response status and size for the request log.
+// statusWriter captures the response status and size for the request log
+// and the metrics plane. Because it wraps the connection's ResponseWriter
+// in a new concrete type, it must re-expose the optional interfaces
+// handlers probe for: an embedded interface field does not promote the
+// underlying writer's Flush/ReadFrom, and without Unwrap an
+// http.ResponseController cannot reach the real connection.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int
 }
 
+// WriteHeader latches the first explicit status — the one that went on the
+// wire — and drops duplicates. Forwarding a second call would only make
+// net/http log a "superfluous WriteHeader" for a call this layer has
+// already absorbed into its accounting.
 func (w *statusWriter) WriteHeader(status int) {
-	if w.status == 0 {
-		w.status = status
+	if w.status != 0 {
+		return
 	}
+	w.status = status
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// Write counts response bytes and latches the implicit 200 a handler
+// commits by writing the body without calling WriteHeader first.
 func (w *statusWriter) Write(p []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
@@ -62,22 +83,61 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// middleware wraps a handler with panic recovery and request logging. A
-// panicking handler yields a JSON 500 (when the response has not started)
-// instead of tearing down the connection without a trace.
+// Flush passes http.Flusher through to the connection so streaming
+// handlers keep flushing behind the middleware. Flushing commits the
+// response headers, which is an implicit 200 when none was set.
+func (w *statusWriter) Flush() {
+	f, ok := w.ResponseWriter.(http.Flusher)
+	if !ok {
+		return
+	}
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	f.Flush()
+}
+
+// ReadFrom keeps the io.ReaderFrom fast path (sendfile for file-backed
+// bodies) available through the wrapper while preserving the byte count
+// and the implicit-200 latch. io.Copy uses the underlying writer's own
+// ReadFrom when it has one.
+func (w *statusWriter) ReadFrom(src io.Reader) (int64, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := io.Copy(w.ResponseWriter, src)
+	w.bytes += int(n)
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the underlying connection for
+// deadline and flush control.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
+// middleware wraps a handler with panic recovery, request logging, and the
+// metrics plane's per-route recording. A panicking handler yields a JSON
+// 500 (when the response has not started) instead of tearing down the
+// connection without a trace. Each request gets a process-unique ID that
+// appears in every log line about it.
 func (s *Service) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := obs.NextRequestID()
+		route := routeLabel(r)
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
-				s.logf("http: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				s.logf("http: panic serving %s %s req=%s: %v", r.Method, r.URL.Path, reqID, p)
 				if sw.status == 0 {
 					s.writeError(sw, http.StatusInternalServerError, errors.New("internal error"))
 				}
 			}
-			s.logf("http: %s %s → %d (%dB, %v)",
-				r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start).Round(time.Microsecond))
+			elapsed := time.Since(start)
+			s.httpM.Load().observe(route, sw.status, elapsed)
+			s.logf("http: %s %s → %d (%dB, %v) req=%s",
+				r.Method, r.URL.Path, sw.status, sw.bytes, elapsed.Round(time.Microsecond), reqID)
 		}()
 		next.ServeHTTP(sw, r)
 	})

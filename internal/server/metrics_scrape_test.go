@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/obs"
+)
+
+// TestMetricsScrapeDuringSubmits hammers the handler with concurrent
+// submits while scraping /metrics from other goroutines. Under -race this
+// pins the core claim of the metrics plane: recording is lock-free and
+// scraping never blocks (or races with) the request path. Afterwards the
+// counters must account for every request exactly once.
+func TestMetricsScrapeDuringSubmits(t *testing.T) {
+	svc, err := New(agg.SAScheme{}, 90, []string{"tv1", "tv2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	svc.SetLogger(log.New(io.Discard, "", 0))
+	reg := obs.NewRegistry()
+	svc.EnableMetrics(reg)
+	h := svc.Handler()
+
+	const (
+		submitters = 4
+		perG       = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				body := fmt.Sprintf(`{"product":"tv1","rater":"g%d-r%d","value":4,"day":%d}`, g, i, i%30)
+				req := httptest.NewRequest("POST", "/ratings", strings.NewReader(body))
+				rw := httptest.NewRecorder()
+				h.ServeHTTP(rw, req)
+				if rw.Code != http.StatusCreated {
+					t.Errorf("submit g%d/%d = %d: %s", g, i, rw.Code, rw.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				rw := httptest.NewRecorder()
+				h.ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+				if rw.Code != http.StatusOK {
+					t.Errorf("concurrent scrape = %d", rw.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	scrape := rw.Body.String()
+
+	want := fmt.Sprintf(`http_requests_total{route="submit",class="2xx"} %d`, submitters*perG)
+	if !strings.Contains(scrape, want) {
+		t.Errorf("scrape missing %q", want)
+	}
+	// Every submit landed on some store shard; the per-shard counters must
+	// sum to the total with nothing lost or double-counted.
+	total := 0
+	for _, line := range strings.Split(scrape, "\n") {
+		if !strings.HasPrefix(line, `store_submit_total{shard="`) {
+			continue
+		}
+		n, err := strconv.Atoi(line[strings.LastIndexByte(line, ' ')+1:])
+		if err != nil {
+			t.Fatalf("unparseable shard counter %q: %v", line, err)
+		}
+		total += n
+	}
+	if total != submitters*perG {
+		t.Errorf("store shard counters sum to %d, want %d", total, submitters*perG)
+	}
+}

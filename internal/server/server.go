@@ -36,6 +36,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -92,6 +93,14 @@ type Service struct {
 	// holding shard locks, and taking mu there would invert the
 	// coordinator-before-shard lock order.
 	logger atomic.Pointer[log.Logger]
+
+	// Observability (EnableMetrics): obsReg and evalSeconds are mu-guarded;
+	// httpM is atomic because the middleware reads it without taking the
+	// coordinator lock — a request must never queue behind a recompute just
+	// to record its latency.
+	obsReg      *obs.Registry
+	evalSeconds *obs.Histogram
+	httpM       atomic.Pointer[httpMetrics]
 }
 
 // New creates an in-memory (non-durable) single-shard service for the
@@ -482,7 +491,9 @@ func (s *Service) refreshLocked(ctx context.Context) error {
 	if !v.Dirty() {
 		return nil
 	}
+	evalStart := time.Now()
 	table, pRes, err := s.evaluateLocked(ctx, v)
+	s.evalSeconds.Observe(time.Since(evalStart).Seconds())
 	if err != nil && ctx.Err() != nil {
 		s.store.AbortRecompute(v)
 		return err

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/agg"
+)
+
+// lineCapture collects log lines for assertions; safe for the concurrent
+// writes a log.Logger can make.
+type lineCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (c *lineCapture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.lines = append(c.lines, strings.TrimRight(string(p), "\n"))
+	c.mu.Unlock()
+	return len(p), nil
+}
+
+// recordingRW is a minimal ResponseWriter that records WriteHeader calls so
+// the tests can see exactly what reaches the underlying connection. It also
+// implements http.Flusher so the wrapper's pass-through can be observed.
+type recordingRW struct {
+	header  http.Header
+	headers []int // every WriteHeader that reached the connection
+	body    strings.Builder
+	flushes int
+}
+
+func newRecordingRW() *recordingRW { return &recordingRW{header: make(http.Header)} }
+
+func (rw *recordingRW) Header() http.Header { return rw.header }
+
+func (rw *recordingRW) WriteHeader(status int) { rw.headers = append(rw.headers, status) }
+
+func (rw *recordingRW) Write(p []byte) (int, error) { return rw.body.Write(p) }
+
+func (rw *recordingRW) Flush() { rw.flushes++ }
+
+// TestStatusWriterLatch drives the wrapper through the status-commit
+// orderings handlers actually produce and asserts two things for each: the
+// status the middleware accounts for, and what reached the connection. The
+// duplicate-WriteHeader case is the regression pin: the wrapper must latch
+// the first status and absorb the second instead of forwarding it for
+// net/http to log as superfluous.
+func TestStatusWriterLatch(t *testing.T) {
+	tests := []struct {
+		name        string
+		drive       func(w *statusWriter)
+		wantStatus  int
+		wantBytes   int
+		wantHeaders []int // WriteHeader calls that reach the connection
+		wantBody    string
+	}{
+		{
+			name:        "explicit status then body",
+			drive:       func(w *statusWriter) { w.WriteHeader(201); w.Write([]byte("ok")) },
+			wantStatus:  201,
+			wantBytes:   2,
+			wantHeaders: []int{201},
+			wantBody:    "ok",
+		},
+		{
+			name:        "write-only handler is an implicit 200",
+			drive:       func(w *statusWriter) { w.Write([]byte("body")) },
+			wantStatus:  200,
+			wantBytes:   4,
+			wantHeaders: nil, // net/http supplies the implicit 200; the wrapper must not
+			wantBody:    "body",
+		},
+		{
+			name:        "double WriteHeader latches the first",
+			drive:       func(w *statusWriter) { w.WriteHeader(500); w.WriteHeader(200) },
+			wantStatus:  500,
+			wantHeaders: []int{500},
+		},
+		{
+			name: "WriteHeader after Write is dropped",
+			drive: func(w *statusWriter) {
+				w.Write([]byte("x"))
+				w.WriteHeader(404) // headers already committed by the Write
+			},
+			wantStatus:  200,
+			wantBytes:   1,
+			wantHeaders: nil,
+			wantBody:    "x",
+		},
+		{
+			name:        "flush-only handler commits an implicit 200",
+			drive:       func(w *statusWriter) { w.Flush() },
+			wantStatus:  200,
+			wantHeaders: nil,
+		},
+		{
+			name: "ReadFrom counts bytes and latches 200",
+			drive: func(w *statusWriter) {
+				if _, err := w.ReadFrom(strings.NewReader("streamed")); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantStatus: 200,
+			wantBytes:  8,
+			wantBody:   "streamed",
+		},
+		{
+			name: "ReadFrom after explicit status keeps it",
+			drive: func(w *statusWriter) {
+				w.WriteHeader(206)
+				if _, err := w.ReadFrom(strings.NewReader("part")); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantStatus:  206,
+			wantBytes:   4,
+			wantHeaders: []int{206},
+			wantBody:    "part",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rw := newRecordingRW()
+			sw := &statusWriter{ResponseWriter: rw}
+			tt.drive(sw)
+			if sw.status != tt.wantStatus {
+				t.Errorf("accounted status = %d, want %d", sw.status, tt.wantStatus)
+			}
+			if sw.bytes != tt.wantBytes {
+				t.Errorf("accounted bytes = %d, want %d", sw.bytes, tt.wantBytes)
+			}
+			if len(rw.headers) != len(tt.wantHeaders) {
+				t.Errorf("connection saw WriteHeader%v, want %v", rw.headers, tt.wantHeaders)
+			} else {
+				for i, h := range tt.wantHeaders {
+					if rw.headers[i] != h {
+						t.Errorf("connection saw WriteHeader%v, want %v", rw.headers, tt.wantHeaders)
+						break
+					}
+				}
+			}
+			if rw.body.String() != tt.wantBody {
+				t.Errorf("connection body = %q, want %q", rw.body.String(), tt.wantBody)
+			}
+		})
+	}
+}
+
+// TestStatusWriterFlushPassthrough is the regression test for the embedded-
+// interface trap: wrapping the ResponseWriter in a struct hides the
+// underlying Flusher unless the wrapper re-implements it. A streaming
+// handler behind the full middleware chain must still reach the connection's
+// Flush — both via a direct http.Flusher assertion and via
+// http.ResponseController, which walks Unwrap.
+func TestStatusWriterFlushPassthrough(t *testing.T) {
+	svc, err := New(agg.SAScheme{}, 90, []string{"tv1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetLogger(log.New(io.Discard, "", 0))
+
+	flushed := make(chan struct{}, 2)
+	streaming := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("middleware-wrapped writer does not implement http.Flusher")
+			return
+		}
+		io.WriteString(w, "first chunk\n")
+		f.Flush()
+		flushed <- struct{}{}
+
+		rc := http.NewResponseController(w)
+		io.WriteString(w, "second chunk\n")
+		if err := rc.Flush(); err != nil {
+			t.Errorf("ResponseController.Flush through Unwrap: %v", err)
+			return
+		}
+		flushed <- struct{}{}
+	})
+
+	ts := httptest.NewServer(svc.middleware(streaming))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(body); got != "first chunk\nsecond chunk\n" {
+		t.Errorf("streamed body = %q", got)
+	}
+	if len(flushed) != 2 {
+		t.Errorf("handler completed %d flushes, want 2", len(flushed))
+	}
+}
+
+// TestStatusWriterFlushWithoutFlusher pins the wrapper's behavior over a
+// connection that cannot flush (recordingRW without the method would be one;
+// here we hide it behind a plain struct): Flush must be a safe no-op, not a
+// panic, because the middleware wraps every writer unconditionally.
+func TestStatusWriterFlushWithoutFlusher(t *testing.T) {
+	// A writer that is deliberately NOT an http.Flusher.
+	bare := struct{ http.ResponseWriter }{ResponseWriter: newRecordingRW()}
+	sw := &statusWriter{ResponseWriter: bare}
+	sw.Flush() // must not panic
+	if sw.status != 0 {
+		t.Errorf("no-op Flush committed status %d", sw.status)
+	}
+}
+
+// TestMiddlewareImplicit200InLog asserts end-to-end that a write-only
+// handler is accounted as 200, not 0, by the middleware (the value that
+// feeds both the request log and the status-class counters).
+func TestMiddlewareImplicit200InLog(t *testing.T) {
+	svc, err := New(agg.SAScheme{}, 90, []string{"tv1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cap lineCapture
+	svc.SetLogger(log.New(&cap, "", 0))
+
+	writeOnly := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "hello")
+	})
+	rw := httptest.NewRecorder()
+	svc.middleware(writeOnly).ServeHTTP(rw, httptest.NewRequest("GET", "/hello", nil))
+
+	if rw.Code != 200 {
+		t.Fatalf("response code = %d", rw.Code)
+	}
+	if len(cap.lines) != 1 {
+		t.Fatalf("logged %d lines, want 1: %v", len(cap.lines), cap.lines)
+	}
+	if !strings.Contains(cap.lines[0], "→ 200 (5B") {
+		t.Errorf("request log does not account implicit 200: %q", cap.lines[0])
+	}
+}

@@ -198,6 +198,8 @@ func shardFS(fsys wal.FS, n int, manifest bool) ([]wal.FS, error) {
 // openShards opens and replays every shard WAL concurrently and merges the
 // per-shard reports in shard order. On any failure every WAL opened so far
 // is closed and the first error (by shard index) is returned.
+//
+//lint:ignore lockheld runs during Open before the Store is returned to any other goroutine; each goroutine writes only its own replayNanos element
 func (st *Store) openShards(fses []wal.FS, walOpts wal.Options) (*RecoveryReport, error) {
 	type result struct {
 		w   *wal.WAL
@@ -205,11 +207,14 @@ func (st *Store) openShards(fses []wal.FS, walOpts wal.Options) (*RecoveryReport
 		err error
 	}
 	results := make([]result, len(st.shards))
+	st.replayNanos = make([]int64, len(st.shards))
 	var wg sync.WaitGroup
 	for i := range st.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			start := walOpts.Now()
+			defer func() { st.replayNanos[i] = walOpts.Now().Sub(start).Nanoseconds() }()
 			w, rec, err := wal.Open(fses[i], walOpts)
 			if err != nil {
 				results[i].err = err

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -37,6 +38,10 @@ type shard struct {
 	snapshotEvery int
 	horizon       float64
 	now           func() time.Time
+
+	// submits counts ratings accepted on this shard (nil until the store's
+	// EnableMetrics runs; a nil counter discards increments).
+	submits *obs.Counter
 }
 
 // submit validates, durably logs, and applies one rating whose product
@@ -89,6 +94,7 @@ func (sh *shard) submit(ctx context.Context, pos int, product, rater string, val
 	p := &sh.data.Products[pos]
 	p.Ratings = p.Ratings.Insert(dataset.Rating{Day: day, Value: value, Rater: rater})
 	p.Version++
+	sh.submits.Inc()
 	if day < sh.dirtyFrom {
 		sh.dirtyFrom = day
 	}

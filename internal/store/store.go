@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -91,6 +93,10 @@ type Store struct {
 	globals [][]int
 	shards  []*shard
 	logf    func(format string, args ...any)
+	// replayNanos holds each shard's boot recovery duration (WAL open +
+	// replay), captured by openShards; surfaced by EnableMetrics. Empty for
+	// an in-memory store.
+	replayNanos []int64
 }
 
 // New creates an in-memory (non-durable) sharded store.
@@ -146,6 +152,38 @@ func (st *Store) SetLogf(f func(format string, args ...any)) {
 		f = func(string, ...any) {}
 	}
 	st.logf = f
+}
+
+// EnableMetrics registers the store's observability with reg and attaches
+// per-shard WAL metrics: accepted-submission counts, fsync latency and
+// group-commit batch histograms, fsync-breaker gauges, and (on a durable
+// store) the boot replay duration each shard spent in recovery. A nil reg
+// is a no-op; the recording paths stay lock-free, so there is no ordering
+// hazard with in-flight submissions.
+func (st *Store) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for i, sh := range st.shards {
+		lbl := obs.L("shard", strconv.Itoa(i))
+		sh.mu.Lock()
+		sh.submits = reg.Counter("store_submit_total", "Ratings accepted, by shard.", lbl)
+		w := sh.wal
+		sh.mu.Unlock()
+		if w != nil {
+			w.SetMetrics(wal.Metrics{
+				FsyncSeconds: reg.Histogram("wal_fsync_seconds", "WAL fsync latency in seconds, by shard.", obs.LatencyBuckets, lbl),
+				BatchSize:    reg.Histogram("wal_batch_size", "Records made durable per WAL group commit, by shard.", obs.CountBuckets, lbl),
+				BreakerOpen:  reg.Gauge("wal_breaker_open", "1 while the shard's fsync-latency breaker is open.", lbl),
+			})
+		}
+		if i < len(st.replayNanos) {
+			reg.Gauge("store_replay_seconds", "Boot recovery (WAL open + replay) duration in seconds, by shard.", lbl).
+				Set(float64(st.replayNanos[i]) / 1e9)
+		}
+	}
 }
 
 // Shards returns the shard count.

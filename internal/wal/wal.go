@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // File names inside the WAL directory.
@@ -73,6 +74,21 @@ type Options struct {
 
 // defaultProbeInterval paces breaker probes when ProbeInterval is unset.
 const defaultProbeInterval = 250 * time.Millisecond
+
+// Metrics holds the WAL's observability handles. Every field is optional:
+// nil handles record nothing (the obs package's no-op plane), so an
+// uninstrumented WAL pays one nil check per event. Attach with SetMetrics.
+type Metrics struct {
+	// FsyncSeconds observes the latency of every fsync the WAL issues,
+	// foreground group commits and breaker probes alike.
+	FsyncSeconds *obs.Histogram
+	// BatchSize observes how many appended records each successful sync
+	// made durable — the realized group-commit batch.
+	BatchSize *obs.Histogram
+	// BreakerOpen is 1 while the fsync-latency breaker is open (appends
+	// acknowledged AckPending), 0 otherwise.
+	BreakerOpen *obs.Gauge
+}
 
 // Ack describes the durability of one acknowledged append.
 type Ack int
@@ -120,6 +136,7 @@ type WAL struct {
 	buf      []byte // scratch encode buffer
 	failed   error  // sticky fsync/write failure
 	closed   bool
+	metrics  Metrics
 
 	// Breaker state: degraded is set while the fsync-latency breaker is
 	// open; probing marks the background probe goroutine as running so at
@@ -211,6 +228,18 @@ func readLog(fsys FS, rec *Recovery) (int64, error) {
 	return int64(off), nil
 }
 
+// SetMetrics attaches observability handles to the WAL. It may be called
+// any time after Open (the recording paths are lock-free, so there is no
+// ordering hazard with in-flight appends); handles left nil stay no-ops.
+func (w *WAL) SetMetrics(m Metrics) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.metrics = m
+	if w.degraded {
+		w.metrics.BreakerOpen.Set(1)
+	}
+}
+
 // Append writes one record to the log and fsyncs per the group-commit
 // policy, discarding the durability ack. See AppendAck.
 func (w *WAL) Append(r Record) error {
@@ -271,17 +300,23 @@ func (w *WAL) AppendAck(r Record) (Ack, error) {
 // observed stall, appends stop entering this path until a probe recovers.
 func (w *WAL) syncLocked() error {
 	start := w.opts.Now()
+	batch := w.pending
 	if err := w.log.Sync(); err != nil {
 		w.failed = fmt.Errorf("wal: fsync: %w", err)
 		return w.failed
 	}
 	w.pending = 0
 	w.lastSync = w.opts.Now()
+	w.metrics.FsyncSeconds.Observe(w.lastSync.Sub(start).Seconds())
+	if batch > 0 {
+		w.metrics.BatchSize.Observe(float64(batch))
+	}
 	if w.opts.StallThreshold > 0 {
 		if w.lastSync.Sub(start) >= w.opts.StallThreshold {
 			w.tripLocked()
 		} else {
 			w.degraded = false // a fast fsync heals the breaker
+			w.metrics.BreakerOpen.Set(0)
 		}
 	}
 	return nil
@@ -291,6 +326,7 @@ func (w *WAL) syncLocked() error {
 // goroutine is running.
 func (w *WAL) tripLocked() {
 	w.degraded = true
+	w.metrics.BreakerOpen.Set(1)
 	if !w.probing {
 		w.probing = true
 		go w.probe()
@@ -337,11 +373,16 @@ func (w *WAL) probe() {
 		// Everything appended before the fsync started is durable now;
 		// records landed during the fsync stay pending for the next probe.
 		if remaining := int(w.appends - seqAtStart); remaining < w.pending {
+			if committed := w.pending - remaining; committed > 0 {
+				w.metrics.BatchSize.Observe(float64(committed))
+			}
 			w.pending = remaining
 		}
 		w.lastSync = w.opts.Now()
+		w.metrics.FsyncSeconds.Observe(dur.Seconds())
 		if dur < w.opts.StallThreshold {
 			w.degraded = false
+			w.metrics.BreakerOpen.Set(0)
 			w.probing = false
 			w.mu.Unlock()
 			return
